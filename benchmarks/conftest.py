@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark file regenerates one experiment from DESIGN.md §3 (the
+paper's theorem-level claims), asserts its shape criteria, and writes the
+rendered table to ``benchmarks/results/<id>.txt`` so the regenerated
+"tables" persist as artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(result) -> str:
+    """Persist a rendered ExperimentResult; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{result.experiment_id}.txt")
+    with open(path, "w") as handle:
+        handle.write(result.render() + "\n")
+    return path
+
+
+@pytest.fixture
+def persist():
+    """Fixture exposing save_result to benchmarks."""
+    return save_result

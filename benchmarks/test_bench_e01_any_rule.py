@@ -1,0 +1,18 @@
+"""E1 benchmark — Theorem 1.1: q* = Θ(√(n/k)/ε²) for any decision rule."""
+
+from repro.experiments import run_experiment
+from repro.stats.fitting import PowerLawFit
+
+
+def test_bench_e01_any_rule(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e01", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    # Shape criteria (DESIGN.md §3): exponents near ±1/2, bound dominated.
+    assert abs(result.summary["k_exponent (paper: -0.5)"] - (-0.5)) < 0.25
+    assert abs(result.summary["n_exponent (paper: +0.5)"] - 0.5) < 0.25
+    assert result.summary["lower_bound_dominated"]

@@ -1,0 +1,21 @@
+"""E2 benchmark — Theorem 1.2: the AND rule forfeits the √k speedup."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e02_and_rule(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e02", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    # The locality tax: the AND network pays a growing multiple over the
+    # threshold network as the network widens (small k is quantization-
+    # limited, so only the largest-k ratio and the trend are asserted).
+    assert result.summary["and_over_threshold_at_largest_k"] >= 1.5
+    assert result.summary["and_rule_pays_more_at_largest_k"]
+    assert result.summary["and_lower_bound_dominated"]
+    assert result.summary["q1_and_rule_impossible (remark; expect True)"]
+    assert result.summary["q1_jensen_violations (expect 0)"] == 0

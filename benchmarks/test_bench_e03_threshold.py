@@ -1,0 +1,19 @@
+"""E3 benchmark — Theorem 1.3: small referee thresholds T are costly."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e03_threshold(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e03", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    # q*(T) falls as T grows, and the T = 1 (AND-like) rule costs strictly
+    # more than the optimally-calibrated rule.
+    assert result.summary["small_T_pays_more"]
+    first, last = result.rows[0], result.rows[-1]
+    assert first["q_star"] > last["q_star"]
+    assert first["q_star"] > result.summary["optimal_rule_q_star"]

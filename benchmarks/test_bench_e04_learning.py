@@ -1,0 +1,22 @@
+"""E4 benchmark — Theorem 1.4: learning needs k = Ω(n²/q²) players."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e04_learning(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e04", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    # k* grows ≈ quadratically in n and decreases with q, dominating the
+    # paper's Ω(n²/q²) row by row.
+    n_exp = result.summary["n_exponent (paper lower bound: +2)"]
+    q_exp = result.summary[
+        "q_exponent (protocol: -1; paper lower bound allows down to -2)"
+    ]
+    assert n_exp > 1.4
+    assert -2.4 < q_exp < -0.4
+    assert result.summary["lower_bound_dominated"]

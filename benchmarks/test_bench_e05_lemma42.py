@@ -1,0 +1,17 @@
+"""E5 benchmark — Lemmas 4.2/5.1 verified exactly, zero violations."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e05_lemma42(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e05", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    assert result.summary["lemma_4_2_violations (corrected constant; expect 0)"] == 0
+    assert result.summary["lemma_5_1_violations (paper: 0)"] == 0
+    assert result.summary["max_lemma_4_1_identity_gap (≈0)"] < 1e-10
+    assert result.summary["instances_checked"] >= 32

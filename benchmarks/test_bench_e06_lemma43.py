@@ -1,0 +1,15 @@
+"""E6 benchmark — Lemma 4.3 (biased bits) verified exactly, zero violations."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e06_lemma43(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e06", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    assert result.summary["violations (paper: 0)"] == 0
+    assert result.summary["instances_checked"] >= 8

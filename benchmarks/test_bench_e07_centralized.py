@@ -1,0 +1,16 @@
+"""E7 benchmark — centralized baseline q* = Θ(√n/ε²)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e07_centralized(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e07", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    assert abs(result.summary["n_exponent (paper: +0.5)"] - 0.5) < 0.25
+    assert abs(result.summary["eps_exponent (paper: -2)"] - (-2.0)) < 0.8
+    assert result.summary["lower_bound_dominated"]

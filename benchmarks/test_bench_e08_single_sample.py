@@ -1,0 +1,21 @@
+"""E8 benchmark — single-sample regime [1]: k*(n) and message-length decay."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e08_single_sample(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e08", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    # The hash tester scales near-linearly in n, the simulation tester
+    # superlinearly; longer messages can only help.
+    hash_exp = result.summary["hash_n_exponent (theory: ~1)"]
+    sim_exp = result.summary["simulation_n_exponent (theory: ~1.5)"]
+    assert 0.4 < hash_exp < 2.0
+    assert 0.8 < sim_exp < 2.2
+    assert result.summary["k_star_decreases_with_bits"]
+    assert result.summary["lower_bound_dominated"]

@@ -1,0 +1,19 @@
+"""E9 benchmark — Section 6.2: τ* = Θ(√n/(ε²·‖T‖₂)) across rate profiles."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e09_asymmetric(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e09", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    # τ*·‖T‖₂ is profile-independent up to a modest constant, doubling all
+    # rates roughly halves τ*, and the lower bound is dominated everywhere.
+    assert result.summary["tau*·‖T‖₂ spread across profiles (paper: O(1))"] < 3.0
+    ratio = result.summary["tau*(2T)/tau*(T) (paper: 0.5)"]
+    assert 0.3 < ratio < 0.8
+    assert result.summary["lower_bound_dominated"]

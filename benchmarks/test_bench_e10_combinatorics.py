@@ -1,0 +1,16 @@
+"""E10 benchmark — Claim 3.1 / Prop 5.2 / Lemma 5.5 combinatorics."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e10_combinatorics(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e10", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    assert result.summary["claim_3_1_violations (paper: 0)"] == 0
+    assert result.summary["prop_5_2_violations (paper: 0)"] == 0
+    assert result.summary["lemma_5_5_violations (paper: 0)"] == 0

@@ -1,0 +1,16 @@
+"""E11 benchmark — Lemma 5.4 (KKL level inequality), zero violations."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e11_kkl(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e11", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    assert result.summary["violations (paper: 0)"] == 0
+    assert result.summary["instances_checked"] >= 100
+    assert result.summary["tightest_ratio"] <= 1.0

@@ -1,0 +1,17 @@
+"""E12 benchmark — Section 6.1 information-theoretic chain, link by link."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e12_divergence(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e12", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    assert result.summary["fact_6_2_additivity_failures (paper: 0)"] == 0
+    assert result.summary["fact_6_3_failures (paper: 0)"] == 0
+    assert result.summary["inequality_12_failures (paper: 0)"] == 0
+    assert result.summary["eq_13_dominated"]

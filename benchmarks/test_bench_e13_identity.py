@@ -1,0 +1,16 @@
+"""E13 benchmark — identity testing via the uniformity reduction ([11])."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e13_identity(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e13", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    assert result.summary["max_null_deviation (exact-uniform null; ≈0)"] < 0.01
+    assert result.summary["all_targets_complete"]
+    assert result.summary["all_targets_sound"]

@@ -1,0 +1,18 @@
+"""E14 benchmark — statistic ablation: collision vs distinct vs plug-in."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e14_statistics(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e14", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    # Coincidence statistics share the √n rate; the plug-in pays ~n.
+    assert abs(result.summary["collision_n_exponent (theory: ~0.5)"] - 0.5) < 0.35
+    assert abs(result.summary["plugin_l1_n_exponent (theory: ~1.0)"] - 1.0) < 0.35
+    assert result.summary["plugin_over_collision_at_largest_n"] > 4.0
+    assert result.summary["coincidence_statistics_comparable"]

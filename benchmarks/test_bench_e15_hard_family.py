@@ -1,0 +1,15 @@
+"""E15 benchmark — the hard family ν_z maximises the sample cost."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e15_hard_family(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e15", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    assert result.summary["hard_family_is_hardest"]
+    assert result.summary["hardness_spread"] > 2.0

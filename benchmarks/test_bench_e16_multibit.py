@@ -1,0 +1,16 @@
+"""E16 benchmark — Theorem 6.4: r-bit messages reduce sample cost."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e16_multibit(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e16", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    assert result.summary["q_star_non_increasing_in_bits"]
+    assert result.summary["one_bit_over_many_bits"] >= 1.0
+    assert result.summary["lower_bound_dominated"]

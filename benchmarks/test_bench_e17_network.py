@@ -1,0 +1,18 @@
+"""E17 benchmark — network deployment costs of the referee model."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e17_network(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e17", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    assert result.summary["referee_equivalence_failures (expect 0)"] == 0
+    exponent = result.summary["aggregation_rounds_vs_depth_exponent (theory: ~1)"]
+    assert 0.5 < exponent < 1.5
+    assert result.summary["message_width_within_log_k"]
+    assert result.summary["all_verdicts_delivered"]

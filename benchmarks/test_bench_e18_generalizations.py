@@ -1,0 +1,15 @@
+"""E18 benchmark — closeness & independence generalisations of §1."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e18_generalizations(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e18", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    assert result.summary["all_cases_correct"]
+    assert result.summary["specialisation_overhead"] > 1.0

@@ -1,0 +1,15 @@
+"""E19 benchmark — fault tolerance of AND vs threshold decision rules."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e19_fault_tolerance(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e19", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    assert result.summary["and_killed_by_single_fault"]
+    assert result.summary["threshold_survives_single_fault"]

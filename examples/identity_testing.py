@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Testing identity to any known distribution — uniformity is complete.
+
+The paper's introduction rests on a classical fact ([11]): testing whether
+an unknown μ equals a *known* target t reduces to uniformity testing.
+This example walks the reduction end to end:
+
+1. pick a skewed target (a Zipf law — say, the expected popularity of
+   cache keys);
+2. build the randomized mix→grain→filter reduction and verify
+   *analytically* that the target maps to an exactly uniform null;
+3. run the composed identity tester against matching and drifted inputs,
+   with both a centralized and a distributed uniformity tester inside.
+
+Run:  python examples/identity_testing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.reductions import IdentityTester, IdentityTestingReduction
+
+
+def main() -> None:
+    n, epsilon = 64, 0.6
+    target = repro.zipf_distribution(n, 0.8)
+    print(f"Target: Zipf(0.8) on n={n} elements "
+          f"(max mass {target.pmf.max():.3f}, min {target.pmf.min():.4f})\n")
+
+    # --- 1. The reduction, analytically ---------------------------------
+    reduction = IdentityTestingReduction(target, epsilon)
+    print(f"Reduction: {reduction}")
+    null_output = reduction.output_pmf(target)
+    flat = 1.0 / reduction.output_domain_size
+    print(f"  null output ℓ1-deviation from uniform: "
+          f"{np.abs(null_output - flat).sum():.2e}  (exactly uniform up to "
+          "slack-grain rounding)")
+
+    drifted = repro.zipf_distribution(n, 1.8)   # heavier head than the target
+    print(f"  drifted input: ‖drifted − target‖₁ = "
+          f"{repro.l1_distance(drifted, target):.2f}")
+    drifted_output = reduction.output_pmf(drifted)
+    print(f"  drifted output farness from uniform: "
+          f"{np.abs(drifted_output - flat).sum():.2f} "
+          f"(guarantee: ≥ {reduction.residual_epsilon():.2f})\n")
+
+    # --- 2. The composed tester, centralized ----------------------------
+    tester = IdentityTester(target, epsilon)
+    trials = 200
+    print(f"Centralized identity tester ({tester.samples_needed} samples/run):")
+    print(f"  P[accept | μ = target]  = "
+          f"{tester.acceptance_probability(target, trials, rng=0):.2f}")
+    print(f"  P[accept | μ = drifted] = "
+          f"{tester.acceptance_probability(drifted, trials, rng=1):.2f}\n")
+
+    # --- 3. Distributed: each server filters its own samples ------------
+    distributed = IdentityTester(
+        target, epsilon,
+        tester_factory=lambda grains, residual: repro.ThresholdRuleTester(
+            grains, residual, k=16
+        ),
+    )
+    per_server = distributed.uniformity_tester.resources.samples_per_player
+    print(f"Distributed identity tester (16 servers × {per_server} samples):")
+    print(f"  P[accept | μ = target]  = "
+          f"{distributed.acceptance_probability(target, trials, rng=2):.2f}")
+    print(f"  P[accept | μ = drifted] = "
+          f"{distributed.acceptance_probability(drifted, trials, rng=3):.2f}")
+    print("\nEvery lower bound the paper proves for uniformity therefore")
+    print("binds identity testing to any target — that is what 'uniformity")
+    print("is complete' buys (§1, and experiment E13).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Deploying the referee on a real network.
+
+The paper's model has every server send its bit to an abstract referee.
+On an actual network the referee is realised by a BFS spanning tree and
+convergecast, and the interesting costs become *rounds* (Θ(diameter)) and
+*per-edge message width* (⌈log₂(k+1)⌉ bits for the alarm count — the
+CONGEST budget).  This example runs the same uniformity test on five
+topologies and prints the cost sheet; the decision statistics are
+identical everywhere, the costs are not.
+
+Run:  python examples/network_deployment.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.network import (
+    NetworkUniformityTester,
+    connected_gnp_topology,
+    grid_topology,
+    line_topology,
+    random_tree_topology,
+    star_topology,
+)
+from repro.network.topology import diameter
+
+
+def main() -> None:
+    n, eps, k = 512, 0.5, 25
+    normal = repro.uniform(n)
+    drifted = repro.two_level_distribution(n, eps)
+
+    topologies = {
+        "star (data centre)": star_topology(k),
+        "5×5 grid (sensor mesh)": grid_topology(5, 5),
+        "random tree": random_tree_topology(k, rng=1),
+        "sparse random graph": connected_gnp_topology(k, 2.0 / k, rng=2),
+        "line (pipeline)": line_topology(k),
+    }
+
+    print(f"Testing uniformity on n={n}, eps={eps} with k={k} nodes\n")
+    print(f"{'topology':>22} | {'diam':>4} | {'rounds':>6} | {'msgs':>5} | "
+          f"{'width':>5} | verdict(unif/far)")
+    print("-" * 78)
+    for label, graph in topologies.items():
+        tester = NetworkUniformityTester(graph, n, eps)
+        ok = tester.run(normal, rng=3)
+        bad = tester.run(drifted, rng=4)
+        print(
+            f"{label:>22} | {diameter(graph):>4} | {ok.rounds:>6} | "
+            f"{ok.messages:>5} | {ok.max_message_bits:>4}b | "
+            f"{'accept' if ok.accepted else 'REJECT'} / "
+            f"{'accept' if bad.accepted else 'REJECT'}"
+        )
+
+    print(
+        "\nSame per-node sampling, same decision law (exactly the threshold"
+        "\nrule — see tests/network/test_network_tester.py for the bit-for-bit"
+        "\nequivalence); only the aggregation cost varies with the topology."
+    )
+    print(
+        "Rounds track the tree depth, not the node count: the line pays "
+        f"~{diameter(topologies['line (pipeline)'])} rounds of convergecast, the star pays 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

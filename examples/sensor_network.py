@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Sensor-network anomaly detection — the paper's motivating scenario.
+
+A network of sensors measures an environmental quantity that is *supposed*
+to be uniformly distributed over n buckets.  The network must raise an
+alarm when the measurement distribution drifts, with two competing designs:
+
+* **Local decision (AND rule)** — any single sensor can raise the alarm.
+  Operationally simplest (no aggregation), but Theorem 1.2 shows each
+  sensor must then collect nearly the full centralized sample budget.
+* **Aggregated decision (threshold rule)** — the base station counts how
+  many sensors are suspicious.  Theorem 1.1 shows this is sample-optimal.
+
+This example simulates a day of operation under both designs, including a
+drift event, and reports detection latency and per-sensor sampling cost.
+
+Run:  python examples/sensor_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+
+def simulate_day(tester, normal, drifted, drift_hour: int, hours: int = 24, rng=None):
+    """Run one protocol execution per hour; return the hourly alarms."""
+    generator = repro.ensure_rng(rng)
+    alarms = []
+    for hour in range(hours):
+        environment = drifted if hour >= drift_hour else normal
+        alarms.append(not tester.test(environment, generator))
+    return alarms
+
+
+def detection_latency(alarms, drift_hour):
+    """Hours from drift onset to the first alarm (None if missed)."""
+    for hour, alarm in enumerate(alarms):
+        if alarm and hour >= drift_hour:
+            return hour - drift_hour
+    return None
+
+
+def false_alarms(alarms, drift_hour):
+    return sum(alarms[:drift_hour])
+
+
+def main() -> None:
+    n = 512          # measurement buckets
+    epsilon = 0.5    # drift magnitude we must detect
+    k = 24           # sensors
+    drift_hour = 12
+
+    normal = repro.uniform(n)
+    # The drift: readings concentrate on low buckets (e.g. a stuck valve).
+    drifted = repro.zipf_distribution(n, exponent=0.9)
+    print(f"Drift farness: {repro.distance_to_uniform(drifted):.2f} "
+          f"(threshold eps = {epsilon})\n")
+
+    designs = {
+        "AND rule (local decision)": repro.AndRuleTester(n, epsilon, k),
+        "threshold rule (aggregated)": repro.ThresholdRuleTester(n, epsilon, k),
+        # A 2/3-confidence tester alarms falsely ~1/3 of the time; majority
+        # over 5 repetitions drives both error rates down (Chernoff), at 5×
+        # the sampling cost — the standard amplification trade-off.
+        "threshold rule, 5× amplified": repro.AmplifiedTester(
+            repro.ThresholdRuleTester(n, epsilon, k), repetitions=5
+        ),
+    }
+
+    print(f"{'design':>28} | {'q/sensor':>8} | {'false alarms':>12} | latency")
+    print("-" * 70)
+    for label, tester in designs.items():
+        latencies, false_counts = [], []
+        for seed in range(20):
+            alarms = simulate_day(tester, normal, drifted, drift_hour, rng=seed)
+            latency = detection_latency(alarms, drift_hour)
+            latencies.append(latency if latency is not None else 24)
+            false_counts.append(false_alarms(alarms, drift_hour))
+        print(
+            f"{label:>28} | {tester.resources.samples_per_player:>8} | "
+            f"{np.mean(false_counts):>12.2f} | "
+            f"{np.mean(latencies):.1f}h (median {np.median(latencies):.0f}h)"
+        )
+
+    print(
+        "\nBoth designs detect the drift, but the AND-rule sensors each draw"
+        f"\n{designs['AND rule (local decision)'].resources.samples_per_player} samples/hour vs "
+        f"{designs['threshold rule (aggregated)'].resources.samples_per_player} for the aggregated design —"
+        "\nthe locality tax of Theorem 1.2, measured on a live workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,176 @@
+"""repro — a reproduction of *Can Distributed Uniformity Testing Be Local?*
+
+(Meir, Minzer, Oshman; PODC 2019.)
+
+The library simulates the distributed distribution-testing model the paper
+analyses — k players × q i.i.d. samples → one-bit messages → a referee
+decision rule — and makes the paper's lower-bound machinery executable:
+
+* :mod:`repro.distributions` — discrete distributions, distances, the
+  hard instance family ν_z of Section 3, workload generators, oracles.
+* :mod:`repro.fourier` — boolean-cube Fourier analysis, the KKL level
+  inequality, and the evenly-covered-multiset combinatorics.
+* :mod:`repro.core` — decision rules, player strategies, the protocol
+  simulator, and complete testers (centralized, threshold-rule, AND-rule,
+  single-sample) plus learning protocols and the asymmetric-rate model.
+* :mod:`repro.lowerbounds` — theorem formulas, exact lemma verification,
+  and the Section 6 information-theoretic argument.
+* :mod:`repro.stats` — Monte Carlo estimation, empirical complexity
+  search, and power-law fitting.
+* :mod:`repro.experiments` — the E1–E18 experiment registry reproducing
+  every theorem-level claim (see DESIGN.md and EXPERIMENTS.md).
+
+Quickstart
+----------
+>>> import repro
+>>> tester = repro.ThresholdRuleTester(n=256, epsilon=0.5, k=16)
+>>> tester.test(repro.uniform(256), rng=0)
+True
+"""
+
+from ._version import __version__
+from .exceptions import (
+    ReproError,
+    InvalidDistributionError,
+    InvalidParameterError,
+    DimensionMismatchError,
+    ProtocolError,
+    SearchDivergedError,
+)
+from .rng import ensure_rng, spawn_streams
+from .distributions import (
+    DiscreteDistribution,
+    uniform,
+    point_mass,
+    l1_distance,
+    l2_distance,
+    total_variation,
+    kl_divergence,
+    chi_squared_divergence,
+    distance_to_uniform,
+    is_epsilon_far_from_uniform,
+    PaninskiFamily,
+    perturbed_pair_distribution,
+    zipf_distribution,
+    two_level_distribution,
+    sparse_support_distribution,
+    bimodal_distribution,
+    far_from_uniform_suite,
+    SampleOracle,
+    oracle_for,
+)
+from .fourier import BooleanFunction, walsh_hadamard_transform
+from .core import (
+    AmplifiedTester,
+    AndRule,
+    OrRule,
+    ThresholdRule,
+    MajorityRule,
+    TruthTableRule,
+    WeightedCountRule,
+    CollisionBitPlayer,
+    SimultaneousProtocol,
+    Player,
+    UniformityTester,
+    CentralizedCollisionTester,
+    ThresholdRuleTester,
+    AndRuleTester,
+    PairwiseHashTester,
+    SimulationTester,
+    ClosenessTester,
+    IndependenceTester,
+    correlated_joint,
+    joint_from_matrix,
+    MultibitThresholdTester,
+    UniqueElementsTester,
+    EmpiricalDistanceTester,
+    HitCountingLearner,
+    FrequencyDitheringLearner,
+    AsymmetricRateTester,
+)
+from .reductions import IdentityTester, IdentityTestingReduction
+from .network import NetworkUniformityTester
+from .lowerbounds import (
+    theorem_1_1_q_lower,
+    theorem_1_2_q_lower,
+    theorem_1_3_q_lower,
+    theorem_1_4_k_lower,
+    centralized_q_lower,
+)
+from .stats import (
+    empirical_sample_complexity,
+    empirical_player_complexity,
+    fit_power_law,
+    power_curve,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "InvalidDistributionError",
+    "InvalidParameterError",
+    "DimensionMismatchError",
+    "ProtocolError",
+    "SearchDivergedError",
+    "ensure_rng",
+    "spawn_streams",
+    "DiscreteDistribution",
+    "uniform",
+    "point_mass",
+    "l1_distance",
+    "l2_distance",
+    "total_variation",
+    "kl_divergence",
+    "chi_squared_divergence",
+    "distance_to_uniform",
+    "is_epsilon_far_from_uniform",
+    "PaninskiFamily",
+    "perturbed_pair_distribution",
+    "zipf_distribution",
+    "two_level_distribution",
+    "sparse_support_distribution",
+    "bimodal_distribution",
+    "far_from_uniform_suite",
+    "SampleOracle",
+    "oracle_for",
+    "BooleanFunction",
+    "walsh_hadamard_transform",
+    "AmplifiedTester",
+    "AndRule",
+    "OrRule",
+    "ThresholdRule",
+    "MajorityRule",
+    "TruthTableRule",
+    "WeightedCountRule",
+    "CollisionBitPlayer",
+    "SimultaneousProtocol",
+    "Player",
+    "UniformityTester",
+    "CentralizedCollisionTester",
+    "ThresholdRuleTester",
+    "AndRuleTester",
+    "PairwiseHashTester",
+    "SimulationTester",
+    "ClosenessTester",
+    "IndependenceTester",
+    "correlated_joint",
+    "joint_from_matrix",
+    "MultibitThresholdTester",
+    "UniqueElementsTester",
+    "EmpiricalDistanceTester",
+    "HitCountingLearner",
+    "FrequencyDitheringLearner",
+    "AsymmetricRateTester",
+    "IdentityTester",
+    "IdentityTestingReduction",
+    "NetworkUniformityTester",
+    "theorem_1_1_q_lower",
+    "theorem_1_2_q_lower",
+    "theorem_1_3_q_lower",
+    "theorem_1_4_k_lower",
+    "centralized_q_lower",
+    "empirical_sample_complexity",
+    "empirical_player_complexity",
+    "fit_power_law",
+    "power_curve",
+]

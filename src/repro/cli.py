@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Four commands cover the common workflows:
+
+* ``test`` — run one uniformity tester against a chosen input distribution
+  and report acceptance statistics::
+
+      python -m repro test --tester threshold --n 1024 --k 16 --eps 0.5 \\
+          --input two_level --trials 400
+
+* ``complexity`` — empirically search the per-player sample complexity
+  q* of a tester at given (n, k, ε)::
+
+      python -m repro complexity --tester threshold --n 1024 --k 16 --eps 0.5
+
+* ``experiment`` — run a registered experiment (E1–E17) and print its
+  regenerated table::
+
+      python -m repro experiment e05 --scale small
+
+* ``bounds`` — print every theorem lower bound at given parameters::
+
+      python -m repro bounds --n 4096 --k 16 --eps 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.testers import (
+    AndRuleTester,
+    CentralizedCollisionTester,
+    ThresholdRuleTester,
+    UniformityTester,
+)
+from .distributions.discrete import DiscreteDistribution, uniform
+from .distributions.generators import (
+    bimodal_distribution,
+    two_level_distribution,
+    zipf_distribution,
+)
+from .distributions.families import PaninskiFamily
+from .exceptions import ReproError
+from .lowerbounds import theorems
+from .stats.complexity import empirical_sample_complexity
+
+TESTER_CHOICES = ("centralized", "threshold", "and")
+INPUT_CHOICES = ("uniform", "two_level", "paninski", "zipf", "heavy_hitter")
+
+
+def _build_tester(name: str, n: int, epsilon: float, k: int, q: Optional[int]) -> UniformityTester:
+    if name == "centralized":
+        return CentralizedCollisionTester(n, epsilon, q=q)
+    if name == "threshold":
+        return ThresholdRuleTester(n, epsilon, k, q=q)
+    if name == "and":
+        return AndRuleTester(n, epsilon, k, q=q)
+    raise ReproError(f"unknown tester {name!r}")
+
+
+def _build_input(name: str, n: int, epsilon: float, seed: int) -> DiscreteDistribution:
+    if name == "uniform":
+        return uniform(n)
+    if name == "two_level":
+        return two_level_distribution(n if n % 2 == 0 else n - 1, epsilon)
+    if name == "paninski":
+        return PaninskiFamily(n if n % 2 == 0 else n - 1, epsilon).sample_distribution(seed)
+    if name == "zipf":
+        return zipf_distribution(n, 1.0)
+    if name == "heavy_hitter":
+        return bimodal_distribution(n, epsilon, heavy_elements=1)
+    raise ReproError(f"unknown input {name!r}")
+
+
+def _cmd_test(args: argparse.Namespace) -> int:
+    tester = _build_tester(args.tester, args.n, args.eps, args.k, args.q)
+    distribution = _build_input(args.input, args.n, args.eps, args.seed)
+    resources = tester.resources
+    print(f"tester:  {type(tester).__name__}")
+    print(
+        f"budget:  k={resources.num_players} players × "
+        f"q={resources.samples_per_player} samples"
+    )
+    rate = tester.acceptance_probability(distribution, args.trials, args.seed)
+    print(f"input:   {args.input} (n={args.n}, eps={args.eps})")
+    print(f"P[accept] over {args.trials} runs: {rate:.3f}")
+    return 0
+
+
+def _cmd_complexity(args: argparse.Namespace) -> int:
+    result = empirical_sample_complexity(
+        lambda q: _build_tester(args.tester, args.n, args.eps, args.k, q),
+        n=args.n,
+        epsilon=args.eps,
+        trials=args.trials,
+        rng=args.seed,
+    )
+    print(f"tester: {args.tester}  n={args.n}  k={args.k}  eps={args.eps}")
+    print(f"empirical q* = {result.resource_star}")
+    bound = theorems.theorem_1_1_q_lower(args.n, args.k, args.eps)
+    print(f"Theorem 1.1 lower bound: {bound:.2f}")
+    from .stats.ascii import success_curve_plot
+
+    levels = sorted(result.curve)
+    print(success_curve_plot(levels, [result.curve[q] for q in levels]))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import run_experiment
+
+    result = run_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    n, k, eps = args.n, args.k, args.eps
+    print(f"paper lower bounds at n={n}, k={k}, eps={eps}:")
+    print(f"  centralized (k=1):      q >= {theorems.centralized_q_lower(n, eps):.2f}")
+    print(f"  Theorem 1.1 (any rule): q >= {theorems.theorem_1_1_q_lower(n, k, eps):.2f}")
+    try:
+        print(f"  Theorem 1.2 (AND rule): q >= {theorems.theorem_1_2_q_lower(n, k, eps):.2f}")
+    except ReproError as error:
+        print(f"  Theorem 1.2 (AND rule): outside regime ({error})")
+    for t in (1, 2, 4):
+        try:
+            bound = theorems.theorem_1_3_q_lower(n, k, eps, t)
+            print(f"  Theorem 1.3 (T={t}):     q >= {bound:.2f}")
+        except ReproError:
+            print(f"  Theorem 1.3 (T={t}):     outside regime")
+    for q in (1, 4, 16):
+        print(
+            f"  Theorem 1.4 (learning, q={q}): k >= "
+            f"{theorems.theorem_1_4_k_lower(n, q):.1f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Distributed uniformity testing toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    test = sub.add_parser("test", help="run one tester against one input")
+    test.add_argument("--tester", choices=TESTER_CHOICES, default="threshold")
+    test.add_argument("--input", choices=INPUT_CHOICES, default="two_level")
+    test.add_argument("--n", type=int, default=1024)
+    test.add_argument("--k", type=int, default=16)
+    test.add_argument("--eps", type=float, default=0.5)
+    test.add_argument("--q", type=int, default=None)
+    test.add_argument("--trials", type=int, default=300)
+    test.add_argument("--seed", type=int, default=0)
+    test.set_defaults(func=_cmd_test)
+
+    complexity = sub.add_parser("complexity", help="search empirical q*")
+    complexity.add_argument("--tester", choices=TESTER_CHOICES, default="threshold")
+    complexity.add_argument("--n", type=int, default=1024)
+    complexity.add_argument("--k", type=int, default=16)
+    complexity.add_argument("--eps", type=float, default=0.5)
+    complexity.add_argument("--trials", type=int, default=200)
+    complexity.add_argument("--seed", type=int, default=0)
+    complexity.set_defaults(func=_cmd_complexity)
+
+    experiment = sub.add_parser("experiment", help="run a registered experiment")
+    experiment.add_argument("experiment_id", help="e01 ... e17")
+    experiment.add_argument("--scale", choices=("small", "paper"), default="small")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    bounds = sub.add_parser("bounds", help="print the paper's lower bounds")
+    bounds.add_argument("--n", type=int, default=4096)
+    bounds.add_argument("--k", type=int, default=16)
+    bounds.add_argument("--eps", type=float, default=0.5)
+    bounds.set_defaults(func=_cmd_bounds)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

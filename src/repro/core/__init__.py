@@ -1,0 +1,106 @@
+"""The distributed distribution-testing model (the paper's Section 2).
+
+``k`` players each draw ``q`` i.i.d. samples from an unknown distribution
+and send a short message to a referee, who applies a decision rule:
+
+* :mod:`repro.core.referees` — decision rules f : {0,1}^k → {0,1}
+  (AND, OR, T-threshold, majority, arbitrary truth table, count rules).
+* :mod:`repro.core.players` — player strategies mapping a sample vector to
+  a bit (collision statistics, calibrated biased bits, hash bits).
+* :mod:`repro.core.protocol` — the simultaneous-message protocol simulator
+  wiring oracles, strategies and referees together.
+* :mod:`repro.core.testers` — complete uniformity testers: the centralized
+  collision tester [16], the threshold-rule and AND-rule testers of [7],
+  and single-sample protocols in the spirit of [1].
+* :mod:`repro.core.learning` — distributed distribution-learning protocols
+  (the Theorem 1.4 counterpart).
+* :mod:`repro.core.tradeoffs` — the asymmetric sampling-rate model of
+  Section 6.2.
+"""
+
+from .referees import (
+    DecisionRule,
+    AndRule,
+    OrRule,
+    ThresholdRule,
+    MajorityRule,
+    WeightedCountRule,
+    TruthTableRule,
+)
+from .players import (
+    PlayerStrategy,
+    CollisionBitPlayer,
+    UniqueElementsPlayer,
+    ConstantPlayer,
+    RandomBitPlayer,
+    SubsetMembershipPlayer,
+    collision_counts,
+    calibrate_collision_threshold,
+    birthday_no_collision_probability,
+)
+from .protocol import Player, SimultaneousProtocol, ProtocolOutcome
+from .testers import (
+    UniformityTester,
+    AmplifiedTester,
+    CentralizedCollisionTester,
+    ThresholdRuleTester,
+    AndRuleTester,
+    PairwiseHashTester,
+    SimulationTester,
+)
+from .closeness import ClosenessTester, UniformityViaCloseness
+from .faults import StuckAtPlayer, FlippingPlayer, inject_faults
+from .independence import IndependenceTester, correlated_joint, joint_from_matrix
+from .multibit import MultibitThresholdTester
+from .baselines import UniqueElementsTester, EmpiricalDistanceTester
+from .learning import (
+    HitCountingLearner,
+    FrequencyDitheringLearner,
+    LearningOutcome,
+)
+from .tradeoffs import AsymmetricRateTester, rate_profile_norm
+
+__all__ = [
+    "DecisionRule",
+    "AndRule",
+    "OrRule",
+    "ThresholdRule",
+    "MajorityRule",
+    "WeightedCountRule",
+    "TruthTableRule",
+    "PlayerStrategy",
+    "CollisionBitPlayer",
+    "UniqueElementsPlayer",
+    "ConstantPlayer",
+    "RandomBitPlayer",
+    "SubsetMembershipPlayer",
+    "collision_counts",
+    "calibrate_collision_threshold",
+    "birthday_no_collision_probability",
+    "Player",
+    "SimultaneousProtocol",
+    "ProtocolOutcome",
+    "UniformityTester",
+    "AmplifiedTester",
+    "CentralizedCollisionTester",
+    "ThresholdRuleTester",
+    "AndRuleTester",
+    "PairwiseHashTester",
+    "SimulationTester",
+    "ClosenessTester",
+    "UniformityViaCloseness",
+    "StuckAtPlayer",
+    "FlippingPlayer",
+    "inject_faults",
+    "IndependenceTester",
+    "correlated_joint",
+    "joint_from_matrix",
+    "MultibitThresholdTester",
+    "UniqueElementsTester",
+    "EmpiricalDistanceTester",
+    "HitCountingLearner",
+    "FrequencyDitheringLearner",
+    "LearningOutcome",
+    "AsymmetricRateTester",
+    "rate_profile_norm",
+]

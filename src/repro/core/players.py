@@ -1,0 +1,325 @@
+"""Player strategies: how q samples become a one-bit message.
+
+The decisive statistic for uniformity testing is the **collision count**
+``K = Σ_v C(c_v, 2)`` over the value counts ``c_v`` of a player's sample
+vector: its expectation is ``C(q,2) · ||μ||₂²``, and ε-far distributions
+inflate ``||μ||₂²`` by at least ``ε²/n``.  Every tester in this library is a
+quantisation of K:
+
+* :class:`CollisionBitPlayer` — send 0 ("reject") iff K exceeds a
+  threshold; with threshold 0 this is the "any collision at all" bit that
+  realises the optimal threshold-rule tester of [7];
+* :func:`calibrate_collision_threshold` — pick the threshold so the
+  false-reject probability under the uniform distribution is at most a
+  target (what the AND-rule tester needs: a per-player bias of 1/(3k));
+* :class:`UniqueElementsPlayer` — the distinct-elements alternative
+  statistic;
+* :class:`SubsetMembershipPlayer` — the hash bit used by single-sample and
+  learning protocols.
+
+All strategies implement a vectorised ``respond_batch`` over a
+(rows × q) sample matrix, which the Monte Carlo harness relies on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..distributions.discrete import uniform
+from ..exceptions import InvalidParameterError
+from ..rng import RngLike, ensure_rng
+
+
+def collision_counts(samples: np.ndarray) -> np.ndarray:
+    """Pairwise collision count per row of a (rows × q) sample matrix.
+
+    For a row with value counts ``c_v`` the count is ``Σ_v C(c_v, 2)`` — the
+    number of unordered sample pairs that coincide.  Computed by sorting
+    each row and accumulating run lengths, fully vectorised across rows.
+    """
+    matrix = np.asarray(samples, dtype=np.int64)
+    if matrix.ndim == 1:
+        matrix = matrix[np.newaxis, :]
+    if matrix.ndim != 2:
+        raise InvalidParameterError(f"samples must be 1-d or 2-d, got ndim={matrix.ndim}")
+    rows, q = matrix.shape
+    if q < 2:
+        return np.zeros(rows, dtype=np.int64)
+    ordered = np.sort(matrix, axis=1)
+    equal_prev = ordered[:, 1:] == ordered[:, :-1]
+    # run_position[i] = number of immediately-preceding equal samples in the
+    # current run; summing it per row gives Σ C(run_len, 2) exactly.
+    run_position = np.zeros((rows, q - 1), dtype=np.int64)
+    previous = np.zeros(rows, dtype=np.int64)
+    for column in range(q - 1):
+        previous = (previous + 1) * equal_prev[:, column]
+        run_position[:, column] = previous
+    return run_position.sum(axis=1)
+
+
+def unique_counts(samples: np.ndarray) -> np.ndarray:
+    """Number of distinct values per row of a (rows × q) sample matrix."""
+    matrix = np.asarray(samples, dtype=np.int64)
+    if matrix.ndim == 1:
+        matrix = matrix[np.newaxis, :]
+    ordered = np.sort(matrix, axis=1)
+    if ordered.shape[1] == 0:
+        return np.zeros(ordered.shape[0], dtype=np.int64)
+    changes = (ordered[:, 1:] != ordered[:, :-1]).sum(axis=1)
+    return changes + 1
+
+
+def birthday_no_collision_probability(n: int, q: int) -> float:
+    """P[no collision among q uniform samples] = ∏_{i<q} (1 - i/n), exactly.
+
+    This closed form lets the threshold-rule tester calibrate its referee
+    without Monte Carlo: under U_n the "collision bit" rejects with
+    probability exactly ``1 - birthday_no_collision_probability(n, q)``.
+    """
+    if n < 1 or q < 0:
+        raise InvalidParameterError(f"need n >= 1 and q >= 0, got n={n}, q={q}")
+    if q > n:
+        return 0.0
+    probability = 1.0
+    for i in range(1, q):
+        probability *= 1.0 - i / n
+    return probability
+
+
+class PlayerStrategy(ABC):
+    """Base class: a deterministic-or-randomised map from samples to a bit.
+
+    ``respond_batch`` returns one bit per row (1 = accept).  Strategies that
+    need private randomness take an ``rng`` argument; deterministic
+    strategies ignore it.
+    """
+
+    @abstractmethod
+    def respond_batch(self, samples: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """(rows × q) sample matrix → length-rows 0/1 vector."""
+
+    def respond(self, samples: Sequence[int], rng: RngLike = None) -> int:
+        """Single-shot response to one sample vector."""
+        return int(self.respond_batch(np.asarray(samples, dtype=np.int64), rng)[0])
+
+    @property
+    def name(self) -> str:
+        """Human-readable strategy name (used in experiment reports)."""
+        return type(self).__name__
+
+
+class CollisionBitPlayer(PlayerStrategy):
+    """Accept iff the collision count is at most ``threshold``.
+
+    ``threshold = 0`` — reject on *any* collision — is the bit behind the
+    optimal threshold-rule tester in the sparse regime; fractional
+    thresholds place the cut at the midpoint between the uniform and ε-far
+    collision means, and large thresholds produce the highly biased bits
+    the AND-rule tester needs.
+    """
+
+    def __init__(self, threshold: float = 0):
+        if threshold < 0:
+            raise InvalidParameterError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = float(threshold)
+
+    def respond_batch(self, samples: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        return (collision_counts(samples) <= self.threshold).astype(np.int64)
+
+    @property
+    def name(self) -> str:
+        return f"CollisionBitPlayer(threshold={self.threshold})"
+
+
+class DitheredCollisionBitPlayer(PlayerStrategy):
+    """Collision bit with a randomized boundary, hitting any alarm rate.
+
+    Alarms (sends 0) when ``K > t``; at ``K == t`` it alarms with
+    probability ``boundary_probability``.  Because the collision count is
+    integer-valued, deterministic thresholds can only realise a discrete
+    set of alarm rates — the dither interpolates between them, which the
+    forced-T threshold tester needs for exact completeness calibration.
+    """
+
+    def __init__(self, threshold: int, boundary_probability: float):
+        if threshold < 0:
+            raise InvalidParameterError(f"threshold must be >= 0, got {threshold}")
+        if not 0.0 <= boundary_probability <= 1.0:
+            raise InvalidParameterError(
+                f"boundary_probability must be in [0,1], got {boundary_probability}"
+            )
+        self.threshold = int(threshold)
+        self.boundary_probability = float(boundary_probability)
+
+    def respond_batch(self, samples: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        generator = ensure_rng(rng)
+        counts = collision_counts(samples)
+        alarms = counts > self.threshold
+        boundary = counts == self.threshold
+        if self.boundary_probability > 0.0 and boundary.any():
+            coin = generator.random(boundary.shape) < self.boundary_probability
+            alarms = alarms | (boundary & coin)
+        return (~alarms).astype(np.int64)
+
+    @property
+    def name(self) -> str:
+        return (
+            f"DitheredCollisionBitPlayer(t={self.threshold}, "
+            f"gamma={self.boundary_probability:.3f})"
+        )
+
+
+def calibrate_dithered_collision(
+    n: int,
+    q: int,
+    target_alarm_rate: float,
+    trials: int = 4000,
+    rng: RngLike = None,
+) -> Tuple[int, float, float]:
+    """Fit a :class:`DitheredCollisionBitPlayer` to an exact alarm rate.
+
+    Returns ``(threshold, boundary_probability, achieved_rate)`` such that
+    under U_n the player alarms with probability ≈ ``target_alarm_rate``:
+    always above the threshold, with the calibrated probability exactly at
+    it.  Rates are estimated from ``trials`` Monte Carlo draws.
+    """
+    if not 0.0 < target_alarm_rate <= 1.0:
+        raise InvalidParameterError(
+            f"target_alarm_rate must be in (0,1], got {target_alarm_rate}"
+        )
+    if trials < 100:
+        raise InvalidParameterError(f"trials must be >= 100, got {trials}")
+    generator = ensure_rng(rng)
+    counts = collision_counts(uniform(n).sample_matrix(trials, q, generator))
+    maximum = int(counts.max())
+    for t in range(0, maximum + 2):
+        tail = float((counts > t).mean())
+        if tail <= target_alarm_rate:
+            at_boundary = float((counts == t).mean())
+            if at_boundary <= 0.0:
+                return t, 0.0, tail
+            gamma = min(1.0, (target_alarm_rate - tail) / at_boundary)
+            return t, gamma, tail + gamma * at_boundary
+    return maximum + 1, 0.0, 0.0
+
+
+class UniqueElementsPlayer(PlayerStrategy):
+    """Accept iff at least ``min_unique`` distinct values were observed.
+
+    The distinct-elements statistic is an alternative to collision counting
+    with the same first-order signal (far distributions repeat more).
+    """
+
+    def __init__(self, min_unique: int):
+        if min_unique < 0:
+            raise InvalidParameterError(f"min_unique must be >= 0, got {min_unique}")
+        self.min_unique = int(min_unique)
+
+    def respond_batch(self, samples: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        return (unique_counts(samples) >= self.min_unique).astype(np.int64)
+
+    @property
+    def name(self) -> str:
+        return f"UniqueElementsPlayer(min_unique={self.min_unique})"
+
+
+class ConstantPlayer(PlayerStrategy):
+    """Always send the same bit (degenerate baseline for sanity checks)."""
+
+    def __init__(self, bit: int):
+        if bit not in (0, 1):
+            raise InvalidParameterError(f"bit must be 0 or 1, got {bit}")
+        self.bit = int(bit)
+
+    def respond_batch(self, samples: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        matrix = np.asarray(samples)
+        rows = matrix.shape[0] if matrix.ndim == 2 else 1
+        return np.full(rows, self.bit, dtype=np.int64)
+
+
+class RandomBitPlayer(PlayerStrategy):
+    """Send 1 with probability ``bias``, ignoring the samples entirely.
+
+    The information-less baseline: no referee rule can distinguish anything
+    from these bits, which the integration tests verify.
+    """
+
+    def __init__(self, bias: float = 0.5):
+        if not 0.0 <= bias <= 1.0:
+            raise InvalidParameterError(f"bias must be in [0,1], got {bias}")
+        self.bias = float(bias)
+
+    def respond_batch(self, samples: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        generator = ensure_rng(rng)
+        matrix = np.asarray(samples)
+        rows = matrix.shape[0] if matrix.ndim == 2 else 1
+        return (generator.random(rows) < self.bias).astype(np.int64)
+
+
+class SubsetMembershipPlayer(PlayerStrategy):
+    """Send 1 iff the (single) sample lies in a fixed subset.
+
+    The building block of single-sample protocols: with a public random
+    subset per player, the referee learns a noisy linear measurement of the
+    unknown distribution.  With ``q > 1`` samples the bit reports whether
+    *any* sample hit the subset.
+    """
+
+    def __init__(self, indicator: Sequence[int]):
+        array = np.asarray(indicator, dtype=np.int64)
+        if array.ndim != 1 or array.size == 0:
+            raise InvalidParameterError("indicator must be a non-empty 1-d 0/1 vector")
+        if not np.all((array == 0) | (array == 1)):
+            raise InvalidParameterError("indicator entries must be 0 or 1")
+        self.indicator = array
+
+    def respond_batch(self, samples: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        matrix = np.asarray(samples, dtype=np.int64)
+        if matrix.ndim == 1:
+            matrix = matrix[np.newaxis, :]
+        if matrix.size and matrix.max() >= self.indicator.size:
+            raise InvalidParameterError(
+                "sample outside the subset indicator's domain"
+            )
+        hits = self.indicator[matrix]
+        return (hits.max(axis=1) if matrix.shape[1] else np.zeros(matrix.shape[0], dtype=np.int64)).astype(np.int64)
+
+
+def calibrate_collision_threshold(
+    n: int,
+    q: int,
+    max_reject_probability: float,
+    trials: int = 4000,
+    rng: RngLike = None,
+) -> Tuple[int, float]:
+    """Smallest collision threshold t with P_uniform[K > t] <= target.
+
+    Returns ``(t, estimated_reject_probability)``.  The estimate is Monte
+    Carlo except for ``t = 0``, where the exact birthday formula is used.
+    The AND-rule tester calls this with ``max_reject_probability = 1/(3k)``
+    so the union bound over players keeps completeness above 2/3.
+    """
+    if not 0.0 < max_reject_probability <= 1.0:
+        raise InvalidParameterError(
+            f"max_reject_probability must be in (0,1], got {max_reject_probability}"
+        )
+    if trials < 100:
+        raise InvalidParameterError(f"trials must be >= 100, got {trials}")
+    exact_any_collision = 1.0 - birthday_no_collision_probability(n, q)
+    if exact_any_collision <= max_reject_probability:
+        return 0, exact_any_collision
+
+    generator = ensure_rng(rng)
+    counts = collision_counts(uniform(n).sample_matrix(trials, q, generator))
+    # Smallest t whose empirical upper tail is within target; pad the
+    # estimate with one standard error so the calibration errs conservative.
+    sorted_counts = np.sort(counts)
+    for t in range(0, int(sorted_counts[-1]) + 1):
+        tail = float((counts > t).mean())
+        standard_error = np.sqrt(max(tail * (1 - tail), 1.0 / trials) / trials)
+        if tail + standard_error <= max_reject_probability:
+            return t, tail
+    return int(sorted_counts[-1]) + 1, 0.0

@@ -1,0 +1,223 @@
+"""The simultaneous-message protocol simulator.
+
+This is the model of Section 2: ``k`` players each draw ``q`` i.i.d.
+samples from the unknown distribution, apply their strategy to produce one
+bit, and a referee applies a decision rule to the k bits.  The simulator
+supports:
+
+* exact per-run transcripts (:class:`ProtocolOutcome`) for debugging and
+  unit tests;
+* a fully vectorised Monte Carlo path (:meth:`SimultaneousProtocol.
+  acceptance_probability`) that simulates thousands of protocol executions
+  as a single (trials × k × q) tensor — the workhorse of every benchmark;
+* heterogeneous players (different strategies and different sample counts,
+  needed by the asymmetric-rate model of Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..distributions.discrete import DiscreteDistribution
+from ..distributions.sampling import SampleOracle
+from ..exceptions import DimensionMismatchError, InvalidParameterError, ProtocolError
+from ..rng import RngLike, ensure_rng
+from .players import PlayerStrategy
+from .referees import DecisionRule
+
+
+@dataclass
+class Player:
+    """One network node: a strategy plus a per-player sample budget."""
+
+    strategy: PlayerStrategy
+    num_samples: int
+
+    def __post_init__(self) -> None:
+        if self.num_samples < 0:
+            raise InvalidParameterError(
+                f"num_samples must be >= 0, got {self.num_samples}"
+            )
+
+
+@dataclass
+class ProtocolOutcome:
+    """Transcript of a single protocol execution."""
+
+    accepted: bool
+    bits: np.ndarray
+    samples_drawn: int
+
+    def __repr__(self) -> str:
+        verdict = "accept" if self.accepted else "reject"
+        return (
+            f"ProtocolOutcome({verdict}, bits={self.bits.tolist()}, "
+            f"samples_drawn={self.samples_drawn})"
+        )
+
+
+class SimultaneousProtocol:
+    """k players → one-bit messages → referee decision.
+
+    Parameters
+    ----------
+    players:
+        One :class:`Player` per node.  For the common homogeneous case use
+        :meth:`homogeneous`.
+    referee:
+        The decision rule applied to the k bits.
+    """
+
+    def __init__(self, players: Sequence[Player], referee: DecisionRule):
+        if len(players) == 0:
+            raise InvalidParameterError("a protocol needs at least one player")
+        if referee.num_players is not None and referee.num_players != len(players):
+            raise DimensionMismatchError(
+                f"referee expects {referee.num_players} players, got {len(players)}"
+            )
+        self.players = list(players)
+        self.referee = referee
+
+    @classmethod
+    def homogeneous(
+        cls,
+        strategy: PlayerStrategy,
+        num_players: int,
+        num_samples: int,
+        referee: DecisionRule,
+    ) -> "SimultaneousProtocol":
+        """All players share one strategy and one sample budget."""
+        if num_players < 1:
+            raise InvalidParameterError(f"num_players must be >= 1, got {num_players}")
+        players = [Player(strategy, num_samples) for _ in range(num_players)]
+        return cls(players, referee)
+
+    # ------------------------------------------------------------------ #
+    # properties                                                         #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_players(self) -> int:
+        """k — the network width."""
+        return len(self.players)
+
+    @property
+    def total_samples(self) -> int:
+        """Total samples drawn across the network per execution."""
+        return sum(player.num_samples for player in self.players)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether all players share a strategy object and sample count."""
+        first = self.players[0]
+        return all(
+            player.strategy is first.strategy
+            and player.num_samples == first.num_samples
+            for player in self.players
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution                                                          #
+    # ------------------------------------------------------------------ #
+
+    def run_once(
+        self, distribution: DiscreteDistribution, rng: RngLike = None
+    ) -> ProtocolOutcome:
+        """Execute the protocol once against a live distribution."""
+        generator = ensure_rng(rng)
+        bits = np.empty(self.num_players, dtype=np.int64)
+        drawn = 0
+        for index, player in enumerate(self.players):
+            samples = distribution.sample(player.num_samples, generator)
+            drawn += player.num_samples
+            bits[index] = player.strategy.respond(samples, generator)
+        return ProtocolOutcome(
+            accepted=self.referee.decide(bits), bits=bits, samples_drawn=drawn
+        )
+
+    def run_with_oracles(
+        self, oracles: Sequence[SampleOracle], rng: RngLike = None
+    ) -> ProtocolOutcome:
+        """Execute against explicit per-player oracles (budget-metered)."""
+        if len(oracles) != self.num_players:
+            raise ProtocolError(
+                f"need {self.num_players} oracles, got {len(oracles)}"
+            )
+        generator = ensure_rng(rng)
+        bits = np.empty(self.num_players, dtype=np.int64)
+        drawn = 0
+        for index, (player, oracle) in enumerate(zip(self.players, oracles)):
+            samples = oracle.draw(player.num_samples)
+            drawn += player.num_samples
+            bits[index] = player.strategy.respond(samples, generator)
+        return ProtocolOutcome(
+            accepted=self.referee.decide(bits), bits=bits, samples_drawn=drawn
+        )
+
+    def run_batch(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Boolean accept vector over ``trials`` independent executions.
+
+        The homogeneous fast path draws a single (trials·k × q) sample
+        matrix and responds in one vectorised call; heterogeneous protocols
+        fall back to a per-player loop that is still vectorised over trials.
+        """
+        if trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+        generator = ensure_rng(rng)
+        k = self.num_players
+        if self.is_homogeneous:
+            strategy = self.players[0].strategy
+            q = self.players[0].num_samples
+            samples = distribution.sample_matrix(trials * k, q, generator)
+            bits = strategy.respond_batch(samples, generator).reshape(trials, k)
+        else:
+            bits = np.empty((trials, k), dtype=np.int64)
+            for index, player in enumerate(self.players):
+                samples = distribution.sample_matrix(
+                    trials, player.num_samples, generator
+                )
+                bits[:, index] = player.strategy.respond_batch(samples, generator)
+        return self.referee.decide_batch(bits)
+
+    def acceptance_probability(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> float:
+        """Monte Carlo estimate of P[referee accepts] against ``distribution``."""
+        return float(self.run_batch(distribution, trials, rng).mean())
+
+    def bit_distribution(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Per-player empirical P[bit = 1] — the ν(G_j) of Section 4.
+
+        Used by the divergence-accounting experiments (E12) to measure how
+        much information each player's bit actually carries.
+        """
+        if trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+        generator = ensure_rng(rng)
+        k = self.num_players
+        if self.is_homogeneous:
+            strategy = self.players[0].strategy
+            q = self.players[0].num_samples
+            samples = distribution.sample_matrix(trials * k, q, generator)
+            bits = strategy.respond_batch(samples, generator).reshape(trials, k)
+        else:
+            bits = np.empty((trials, k), dtype=np.int64)
+            for index, player in enumerate(self.players):
+                samples = distribution.sample_matrix(
+                    trials, player.num_samples, generator
+                )
+                bits[:, index] = player.strategy.respond_batch(samples, generator)
+        return bits.mean(axis=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimultaneousProtocol(k={self.num_players}, "
+            f"total_samples={self.total_samples}, referee={self.referee.name})"
+        )

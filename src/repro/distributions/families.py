@@ -1,0 +1,193 @@
+"""The paper's hard instance family ν_z (Section 3).
+
+The universe has size ``n = 2 * half`` and is viewed as ``half`` matched
+pairs: element ``x`` in the "left cube" is matched to the same ``x`` in the
+"right cube".  A perturbation vector ``z ∈ {-1,+1}^half`` shifts ``ε/n`` mass
+between the two halves of each pair:
+
+    ν_z(x, s) = (1 + s · z(x) · ε) / n,       s ∈ {-1, +1}.
+
+Key facts reproduced here and verified by the test-suite:
+
+* every ν_z is exactly ε-far from uniform in ℓ1 distance;
+* the mixture E_z[ν_z] over uniformly random z is exactly uniform — a single
+  sample carries no information (the informal discussion in Section 3);
+* the q-fold product ν_z^q has Fourier coefficients supported only on
+  "evenly covered" (x, S) pairs (Claim 3.1 / the odd-cancelation argument).
+
+Integer encoding
+----------------
+Library code works on the flat domain ``{0, ..., n-1}``.  We encode the pair
+``(x, s)`` as ``2*x + (0 if s == +1 else 1)``; :func:`encode_pair` /
+:func:`decode_pair` convert between the views.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..rng import RngLike, ensure_rng
+from .discrete import DiscreteDistribution, uniform
+
+
+def encode_pair(x: int, s: int, half: int) -> int:
+    """Flat index of the element ``(x, s)`` with ``s ∈ {-1, +1}``."""
+    if not 0 <= x < half:
+        raise InvalidParameterError(f"x={x} outside [0, {half})")
+    if s not in (-1, 1):
+        raise InvalidParameterError(f"s must be +1 or -1, got {s}")
+    return 2 * x + (0 if s == 1 else 1)
+
+
+def decode_pair(element: int, half: int) -> Tuple[int, int]:
+    """Inverse of :func:`encode_pair`: returns ``(x, s)``."""
+    if not 0 <= element < 2 * half:
+        raise InvalidParameterError(f"element {element} outside [0, {2 * half})")
+    x, bit = divmod(element, 2)
+    return x, 1 if bit == 0 else -1
+
+
+def perturbed_pair_distribution(z: Sequence[int], epsilon: float) -> DiscreteDistribution:
+    """Build ν_z directly from a ±1 perturbation vector ``z``.
+
+    ``z`` has one entry per matched pair; the result lives on ``2*len(z)``
+    elements and is exactly ``epsilon``-far from uniform in ℓ1.
+    """
+    z_arr = np.asarray(z, dtype=np.int64)
+    if z_arr.ndim != 1 or z_arr.size == 0:
+        raise InvalidParameterError("z must be a non-empty 1-d ±1 vector")
+    if not np.all(np.isin(z_arr, (-1, 1))):
+        raise InvalidParameterError("z entries must be +1 or -1")
+    if not 0.0 <= epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in [0, 1), got {epsilon}")
+    n = 2 * z_arr.size
+    pmf = np.empty(n, dtype=np.float64)
+    pmf[0::2] = (1.0 + z_arr * epsilon) / n  # s = +1 slots
+    pmf[1::2] = (1.0 - z_arr * epsilon) / n  # s = -1 slots
+    return DiscreteDistribution(pmf)
+
+
+class PaninskiFamily:
+    """The family ``{ν_z}_{z ∈ {±1}^half}`` of ε-far perturbations of U_n.
+
+    Parameters
+    ----------
+    n:
+        Universe size; must be even (``half = n // 2`` matched pairs).  The
+        paper takes ``n = 2^(ℓ+1)`` to apply Fourier analysis on the cube,
+        but the construction itself works for any even ``n``.
+    epsilon:
+        Proximity parameter in ``[0, 1)``; every member is exactly ε-far
+        from uniform.
+
+    Examples
+    --------
+    >>> family = PaninskiFamily(n=8, epsilon=0.5)
+    >>> rng = __import__("numpy").random.default_rng(0)
+    >>> dist = family.sample_distribution(rng)
+    >>> float(round(sum(abs(p - 1/8) for p in dist.pmf), 10))
+    0.5
+    """
+
+    def __init__(self, n: int, epsilon: float):
+        if n < 2 or n % 2 != 0:
+            raise InvalidParameterError(f"n must be an even integer >= 2, got {n}")
+        if not 0.0 <= epsilon < 1.0:
+            raise InvalidParameterError(f"epsilon must be in [0, 1), got {epsilon}")
+        self.n = int(n)
+        self.half = self.n // 2
+        self.epsilon = float(epsilon)
+
+    # ------------------------------------------------------------------ #
+    # members                                                            #
+    # ------------------------------------------------------------------ #
+
+    def distribution(self, z: Sequence[int]) -> DiscreteDistribution:
+        """The member ν_z for an explicit ±1 vector ``z`` of length ``half``."""
+        z_arr = np.asarray(z, dtype=np.int64)
+        if z_arr.shape != (self.half,):
+            raise InvalidParameterError(
+                f"z must have length {self.half}, got shape {z_arr.shape}"
+            )
+        return perturbed_pair_distribution(z_arr, self.epsilon)
+
+    def random_z(self, rng: RngLike = None) -> np.ndarray:
+        """A uniformly random perturbation vector z ∈ {−1, +1}^half."""
+        generator = ensure_rng(rng)
+        return generator.choice(np.array([-1, 1], dtype=np.int64), size=self.half)
+
+    def sample_distribution(self, rng: RngLike = None) -> DiscreteDistribution:
+        """Draw ν_z for a uniformly random z (the lower-bound adversary)."""
+        return self.distribution(self.random_z(rng))
+
+    def z_from_index(self, index: int) -> np.ndarray:
+        """The ``index``-th vector z in lexicographic order (bit b → ±1).
+
+        Bit ``j`` of ``index`` (LSB first) selects the sign of pair ``j``:
+        0 → +1, 1 → −1.  Only usable when ``half`` is small enough to
+        enumerate (the exact lemma engines use this).
+        """
+        if not 0 <= index < 2**self.half:
+            raise InvalidParameterError(
+                f"index {index} outside [0, 2^{self.half})"
+            )
+        bits = (index >> np.arange(self.half)) & 1
+        return np.where(bits == 0, 1, -1).astype(np.int64)
+
+    def all_z(self) -> Iterator[np.ndarray]:
+        """Iterate over all ``2^half`` perturbation vectors (small half only)."""
+        if self.half > 24:
+            raise InvalidParameterError(
+                f"refusing to enumerate 2^{self.half} perturbation vectors"
+            )
+        for index in range(2**self.half):
+            yield self.z_from_index(index)
+
+    def all_members(self) -> Iterator[DiscreteDistribution]:
+        """Iterate over every member ν_z of the family (small half only)."""
+        for z in self.all_z():
+            yield self.distribution(z)
+
+    # ------------------------------------------------------------------ #
+    # mixtures                                                           #
+    # ------------------------------------------------------------------ #
+
+    def single_sample_mixture(self) -> DiscreteDistribution:
+        """E_z[ν_z]: exactly the uniform distribution (Section 3)."""
+        return uniform(self.n)
+
+    def q_sample_mixture_pmf(self, q: int) -> np.ndarray:
+        """Exact pmf of E_z[ν_z^q] on the product domain of size ``n^q``.
+
+        Outcome ``(e_1, ..., e_q)`` is encoded in base ``n`` with ``e_1``
+        most significant.  Computed by direct summation over all 2^half
+        perturbation vectors, so it is only feasible for tiny parameters —
+        this is the ground truth the lemma engines compare against.
+        """
+        if q < 1:
+            raise InvalidParameterError(f"q must be >= 1, got {q}")
+        if self.half > 16 or self.n**q > 2**22:
+            raise InvalidParameterError(
+                f"exact mixture infeasible for half={self.half}, n^q={self.n**q}"
+            )
+        total = np.zeros(self.n**q, dtype=np.float64)
+        count = 0
+        for member in self.all_members():
+            total += member.tensor_power(q).pmf
+            count += 1
+        return total / count
+
+    # ------------------------------------------------------------------ #
+    # metadata                                                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def family_size(self) -> int:
+        """Number of members, ``2^half``."""
+        return 2**self.half
+
+    def __repr__(self) -> str:
+        return f"PaninskiFamily(n={self.n}, epsilon={self.epsilon})"

@@ -1,0 +1,175 @@
+"""Natural far-from-uniform workload generators.
+
+The lower-bound machinery uses the Paninski family ν_z (see
+:mod:`repro.distributions.families`); the *benchmarks* additionally exercise
+the testers on natural alternative hypotheses — the workloads the paper's
+introduction motivates (sensor measurements drifting from normal, skewed
+input distributions).  Each generator returns a distribution together with a
+documented knob controlling its ℓ1 distance from uniform, and
+:func:`far_from_uniform_suite` assembles a labelled suite at a requested
+farness for sweep experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..rng import RngLike, ensure_rng
+from .discrete import DiscreteDistribution
+from .distances import distance_to_uniform
+
+
+def zipf_distribution(n: int, exponent: float = 1.0) -> DiscreteDistribution:
+    """Zipf law ``p_i ∝ (i+1)^(-exponent)`` — heavy-head skew.
+
+    ``exponent = 0`` gives uniform; farness grows continuously with the
+    exponent, so it is a convenient dial for power-curve experiments.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if exponent < 0:
+        raise InvalidParameterError(f"exponent must be >= 0, got {exponent}")
+    weights = (np.arange(1, n + 1, dtype=np.float64)) ** (-exponent)
+    return DiscreteDistribution(weights, normalize=True)
+
+
+def two_level_distribution(n: int, epsilon: float) -> DiscreteDistribution:
+    """The canonical ε-far "two-level" distribution.
+
+    The first half of the domain gets ``(1+ε)/n`` mass per element, the
+    second half ``(1-ε)/n`` — exactly ε-far from uniform, and the structured
+    (non-random) cousin of the Paninski family.
+    """
+    if n < 2 or n % 2 != 0:
+        raise InvalidParameterError(f"n must be even and >= 2, got {n}")
+    if not 0.0 <= epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in [0,1), got {epsilon}")
+    pmf = np.empty(n, dtype=np.float64)
+    pmf[: n // 2] = (1.0 + epsilon) / n
+    pmf[n // 2 :] = (1.0 - epsilon) / n
+    return DiscreteDistribution(pmf)
+
+
+def sparse_support_distribution(n: int, support_fraction: float = 0.5) -> DiscreteDistribution:
+    """Uniform on a fraction of the domain; the rest gets zero mass.
+
+    Farness from uniform is ``2 * (1 - support_fraction)`` in ℓ1 — the
+    hardest kind of deviation for testers that only look at collisions
+    within the support.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if not 0.0 < support_fraction <= 1.0:
+        raise InvalidParameterError(
+            f"support_fraction must be in (0,1], got {support_fraction}"
+        )
+    support_size = max(1, int(round(support_fraction * n)))
+    pmf = np.zeros(n)
+    pmf[:support_size] = 1.0 / support_size
+    return DiscreteDistribution(pmf)
+
+
+def dirichlet_distribution(n: int, concentration: float = 1.0, rng: RngLike = None) -> DiscreteDistribution:
+    """A random pmf drawn from a symmetric Dirichlet prior.
+
+    Small ``concentration`` gives spiky (far-from-uniform) draws; large
+    concentration gives near-uniform ones.  Used for randomized fuzzing of
+    the testers' soundness.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    if concentration <= 0:
+        raise InvalidParameterError(f"concentration must be > 0, got {concentration}")
+    generator = ensure_rng(rng)
+    return DiscreteDistribution(generator.dirichlet(np.full(n, concentration)))
+
+
+def bimodal_distribution(n: int, epsilon: float, heavy_elements: int = 1) -> DiscreteDistribution:
+    """Concentrate ``epsilon/2`` extra mass on a few heavy elements.
+
+    The remaining elements share the deficit equally.  With
+    ``heavy_elements = 1`` this is the "one heavy hitter" alternative, which
+    collision testers detect fastest; more heavy elements spread the signal.
+    """
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+    if not 0.0 <= epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in [0,1), got {epsilon}")
+    if not 1 <= heavy_elements < n:
+        raise InvalidParameterError(
+            f"heavy_elements must be in [1, {n}), got {heavy_elements}"
+        )
+    pmf = np.full(n, 1.0 / n)
+    boost = epsilon / 2.0
+    pmf[:heavy_elements] += boost / heavy_elements
+    pmf[heavy_elements:] -= boost / (n - heavy_elements)
+    if np.any(pmf < 0):
+        raise InvalidParameterError(
+            "epsilon too large for this many light elements (negative mass)"
+        )
+    return DiscreteDistribution(pmf)
+
+
+def far_from_uniform_suite(
+    n: int, epsilon: float, rng: RngLike = None
+) -> Dict[str, DiscreteDistribution]:
+    """A labelled suite of distributions that are >= ε-far from uniform.
+
+    Used by integration tests and benchmarks to check tester soundness on
+    *natural* alternatives, not just the adversarial Paninski family.  Every
+    returned distribution is certified ε-far (asserted at build time).
+    """
+    if n < 4 or n % 2 != 0:
+        raise InvalidParameterError(f"n must be even and >= 4, got {n}")
+    if not 0.0 < epsilon <= 0.9:
+        raise InvalidParameterError(f"epsilon must be in (0, 0.9], got {epsilon}")
+    generator = ensure_rng(rng)
+
+    suite: Dict[str, DiscreteDistribution] = {
+        "two_level": two_level_distribution(n, epsilon),
+        "bimodal_1": bimodal_distribution(n, epsilon, heavy_elements=1),
+        "bimodal_sqrt": bimodal_distribution(
+            n, epsilon, heavy_elements=max(1, int(np.sqrt(n)))
+        ),
+    }
+    # Sparse support: choose the fraction so the farness is exactly epsilon
+    # when representable, i.e. 2*(1 - f) = epsilon.
+    fraction = 1.0 - epsilon / 2.0
+    suite["sparse"] = sparse_support_distribution(n, fraction)
+    # Zipf: binary-search the exponent hitting the requested farness.
+    suite["zipf"] = _zipf_at_farness(n, epsilon)
+    # One random Paninski member for good measure.
+    from .families import PaninskiFamily  # local import avoids a cycle
+
+    suite["paninski"] = PaninskiFamily(n, epsilon).sample_distribution(generator)
+
+    for label, dist in suite.items():
+        farness = distance_to_uniform(dist)
+        if farness < epsilon - 1e-6:
+            raise InvalidParameterError(
+                f"suite member {label!r} is only {farness:.4f}-far, wanted {epsilon}"
+            )
+    return suite
+
+
+def _zipf_at_farness(n: int, epsilon: float, tolerance: float = 1e-6) -> DiscreteDistribution:
+    """Binary-search a Zipf exponent whose farness is ~epsilon (or more)."""
+    low, high = 0.0, 1.0
+    while distance_to_uniform(zipf_distribution(n, high)) < epsilon:
+        high *= 2.0
+        if high > 64.0:
+            raise InvalidParameterError(
+                f"cannot reach farness {epsilon} with a Zipf law on n={n}"
+            )
+    for _ in range(60):
+        mid = 0.5 * (low + high)
+        if distance_to_uniform(zipf_distribution(n, mid)) < epsilon:
+            low = mid
+        else:
+            high = mid
+        if high - low < tolerance:
+            break
+    return zipf_distribution(n, high)

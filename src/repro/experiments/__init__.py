@@ -1,0 +1,18 @@
+"""The experiment registry: one experiment per theorem-level claim.
+
+The paper (a lower-bound paper) has no tables or figures; DESIGN.md §3
+defines experiments E1–E18, one per theorem/lemma, each regenerating the
+claim's empirical counterpart.  Every experiment is a function
+``run(scale, seed) -> ExperimentResult`` where ``scale`` is ``"small"``
+(seconds; used by the benchmark suite) or ``"paper"`` (minutes; used to
+produce EXPERIMENTS.md).
+
+>>> from repro.experiments import run_experiment
+>>> result = run_experiment("e05", scale="small")   # doctest: +SKIP
+>>> print(result.render())                          # doctest: +SKIP
+"""
+
+from .records import ExperimentResult
+from .registry import EXPERIMENTS, run_experiment, experiment_ids
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "experiment_ids"]

@@ -1,0 +1,102 @@
+"""E2 — Theorem 1.2 / 6.5: the AND rule forfeits the √k parallel speedup.
+
+For k ≤ 2^{c/ε} the AND rule forces q = Ω(√n/(log²k · ε²)) — essentially
+the centralized complexity.  Empirically: the AND-rule tester's measured
+q*(k) stays (nearly) flat as the network grows, while the threshold-rule
+tester's q*(k) falls like k^{-1/2}.  The headline number is the measured
+scaling-exponent gap between the two rules on the same grid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..core.testers import AndRuleTester, ThresholdRuleTester
+from ..exceptions import InvalidParameterError
+from ..lowerbounds.theorems import theorem_1_2_q_lower
+from ..rng import ensure_rng
+from ..stats.complexity import empirical_sample_complexity
+from ..stats.fitting import fit_power_law
+from .records import ExperimentResult
+
+SCALES: Dict[str, Dict[str, Any]] = {
+    "small": {"n": 1024, "eps": 0.5, "k_sweep": [2, 8, 32], "trials": 160},
+    "paper": {"n": 4096, "eps": 0.5, "k_sweep": [2, 4, 8, 16, 32, 64], "trials": 300},
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Measure q*(k) under the AND rule vs the threshold rule."""
+    if scale not in SCALES:
+        raise InvalidParameterError(f"unknown scale {scale!r}")
+    params = SCALES[scale]
+    n, eps = params["n"], params["eps"]
+    rng = ensure_rng(seed)
+    result = ExperimentResult(
+        experiment_id="e02",
+        title="Theorem 1.2: AND rule costs ~centralized samples (no √k gain)",
+    )
+
+    for k in params["k_sweep"]:
+        and_q = empirical_sample_complexity(
+            lambda q: AndRuleTester(n, eps, k, q=q),
+            n=n,
+            epsilon=eps,
+            trials=params["trials"],
+            rng=rng,
+        ).resource_star
+        threshold_q = empirical_sample_complexity(
+            lambda q: ThresholdRuleTester(n, eps, k, q=q),
+            n=n,
+            epsilon=eps,
+            trials=params["trials"],
+            rng=rng,
+        ).resource_star
+        result.add_row(
+            n=n,
+            k=k,
+            eps=eps,
+            and_q_star=and_q,
+            threshold_q_star=threshold_q,
+            and_over_threshold=and_q / threshold_q,
+            and_lower_bound=theorem_1_2_q_lower(n, k, eps, regime_constant=4.0),
+        )
+
+    ks = [row["k"] for row in result.rows]
+    and_fit = fit_power_law(ks, [row["and_q_star"] for row in result.rows])
+    thr_fit = fit_power_law(ks, [row["threshold_q_star"] for row in result.rows])
+    result.summary["and_rule_k_exponent"] = and_fit.exponent
+    result.summary["threshold_k_exponent (paper: -0.5)"] = thr_fit.exponent
+    ratios = [row["and_over_threshold"] for row in result.rows]
+    result.summary["and_over_threshold_min"] = min(ratios)
+    result.summary["and_over_threshold_at_largest_k"] = ratios[-1]
+    result.summary["ratio_grows_from_smallest_to_largest_k"] = (
+        ratios[-1] > ratios[0]
+    )
+    result.summary["and_rule_pays_more_at_largest_k"] = ratios[-1] > 1.0
+    result.summary["and_lower_bound_dominated"] = all(
+        row["and_q_star"] >= row["and_lower_bound"] for row in result.rows
+    )
+    # The paper's companion remark: at q = 1 the AND rule cannot test
+    # uniformity at all.  Verified exhaustively over every deterministic
+    # player table on a small universe.
+    from ..lowerbounds.impossibility import verify_q1_and_impossibility
+
+    impossibility = verify_q1_and_impossibility(8, eps if eps < 1 else 0.5)
+    result.summary["q1_and_rule_impossible (remark; expect True)"] = (
+        impossibility.impossibility_holds
+    )
+    result.summary["q1_jensen_violations (expect 0)"] = impossibility.violations
+    result.notes.append(
+        "AND player bits calibrated to false-alarm probability 1/(3k) per player"
+    )
+    result.notes.append(
+        "at k = 2 the count referee is too coarse and the AND calibration can "
+        "win — the paper's claim is asymptotic in k, visible in the ratio trend"
+    )
+    result.notes.append(
+        "at moderate eps the AND tester retains the k^Θ(ε²) gain of [7], so "
+        "q*(k) is not flat; the locality tax is the AND/threshold multiple, "
+        "which the paper predicts diverges as ε shrinks"
+    )
+    return result

@@ -1,0 +1,135 @@
+"""E4 — Theorem 1.4: learning a distribution needs k = Ω(n²/q²) players.
+
+We measure k*(n, q): the fewest one-bit players for the hit-counting
+learner to produce a δ-approximation (median ℓ1 error ≤ δ) of an unknown
+ε-far input.  The paper proves every protocol needs k = Ω(n²/q²); the
+implemented protocol achieves k = O(n²/(δ²·q)), so the measured exponents
+must satisfy:  ≈ +2 in n, and between −2 (the lower bound's slope) and −1
+(our protocol's slope) in q — with the lower-bound formula dominated row
+by row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..core.learning import HitCountingLearner
+from ..distributions.families import PaninskiFamily
+from ..exceptions import InvalidParameterError
+from ..lowerbounds.theorems import theorem_1_4_k_lower
+from ..rng import ensure_rng
+from ..stats.fitting import fit_power_law
+from .records import ExperimentResult
+
+SCALES: Dict[str, Dict[str, Any]] = {
+    "small": {
+        "n_sweep": [8, 16],
+        "q_sweep": [1, 2, 4],
+        "base_n": 16,
+        "base_q": 2,
+        "delta": 0.30,
+        "eps": 0.6,
+        "repetitions": 15,
+    },
+    "paper": {
+        "n_sweep": [8, 16, 32, 64],
+        "q_sweep": [1, 2, 4, 8, 16],
+        "base_n": 32,
+        "base_q": 2,
+        "delta": 0.30,
+        "eps": 0.6,
+        "repetitions": 31,
+    },
+}
+
+
+def _median_error(n: int, k: int, q: int, epsilon: float, repetitions: int, rng) -> float:
+    family = PaninskiFamily(n, epsilon)
+    errors = []
+    for _ in range(repetitions):
+        target = family.sample_distribution(rng)
+        learner = HitCountingLearner(n, k, q)
+        errors.append(learner.learn(target, rng).l1_error)
+    return float(np.median(errors))
+
+
+def _k_star(n: int, q: int, delta: float, epsilon: float, repetitions: int, rng) -> int:
+    """Smallest k (doubling search, then bisection) with median error <= delta."""
+    k = max(n, 2)
+    cap = 4_000_000
+    while _median_error(n, k, q, epsilon, repetitions, rng) > delta:
+        k *= 2
+        if k > cap:
+            raise InvalidParameterError(f"k search exceeded cap {cap}")
+    low, high = k // 2, k
+    while high > low + max(1, low // 8):
+        mid = (low + high) // 2
+        if _median_error(n, mid, q, delta_safe_epsilon(epsilon), repetitions, rng) <= delta:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def delta_safe_epsilon(epsilon: float) -> float:
+    """Identity hook kept for clarity: the target farness is ε throughout."""
+    return epsilon
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Measure k*(n, q) for one-bit distribution learning."""
+    if scale not in SCALES:
+        raise InvalidParameterError(f"unknown scale {scale!r}")
+    params = SCALES[scale]
+    rng = ensure_rng(seed)
+    result = ExperimentResult(
+        experiment_id="e04",
+        title="Theorem 1.4: learning needs k = Ω(n²/q²) one-bit players",
+    )
+
+    for n in params["n_sweep"]:
+        k_star = _k_star(
+            n, params["base_q"], params["delta"], params["eps"], params["repetitions"], rng
+        )
+        result.add_row(
+            sweep="n",
+            n=n,
+            q=params["base_q"],
+            delta=params["delta"],
+            k_star=k_star,
+            lower_bound=theorem_1_4_k_lower(n, params["base_q"]),
+        )
+    for q in params["q_sweep"]:
+        k_star = _k_star(
+            params["base_n"], q, params["delta"], params["eps"], params["repetitions"], rng
+        )
+        result.add_row(
+            sweep="q",
+            n=params["base_n"],
+            q=q,
+            delta=params["delta"],
+            k_star=k_star,
+            lower_bound=theorem_1_4_k_lower(params["base_n"], q),
+        )
+
+    n_rows = [row for row in result.rows if row["sweep"] == "n"]
+    q_rows = [row for row in result.rows if row["sweep"] == "q"]
+    if len(n_rows) >= 2:
+        fit = fit_power_law([r["n"] for r in n_rows], [r["k_star"] for r in n_rows])
+        result.summary["n_exponent (paper lower bound: +2)"] = fit.exponent
+    if len(q_rows) >= 2:
+        fit = fit_power_law([r["q"] for r in q_rows], [r["k_star"] for r in q_rows])
+        result.summary["q_exponent (protocol: -1; paper lower bound allows down to -2)"] = (
+            fit.exponent
+        )
+    result.summary["lower_bound_dominated"] = all(
+        row["k_star"] >= row["lower_bound"] for row in result.rows
+    )
+    result.notes.append(
+        "upper bound protocol is hit-counting (k = O(n²/(δ²q))); the paper's "
+        "Ω(n²/q²) is a lower bound — domination, not matching, is the check "
+        "for q > 1 (they coincide at q = 1, the regime of [1])"
+    )
+    return result

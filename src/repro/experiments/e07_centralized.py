@@ -1,0 +1,92 @@
+"""E7 — the centralized baseline: q* = Θ(√n/ε²) ([16], and k=1 in Eq. 13).
+
+Every distributed result in the paper is measured against this classical
+law.  We measure the centralized collision tester's q* over sweeps in n
+and ε and fit both exponents (expected +0.5 and −2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..core.testers import CentralizedCollisionTester
+from ..exceptions import InvalidParameterError
+from ..lowerbounds.theorems import centralized_q_lower
+from ..rng import ensure_rng
+from ..stats.complexity import empirical_sample_complexity
+from ..stats.fitting import fit_power_law
+from .records import ExperimentResult
+
+SCALES: Dict[str, Dict[str, Any]] = {
+    "small": {
+        "n_sweep": [64, 256, 1024],
+        "eps_sweep": [0.4, 0.6],
+        "base_n": 256,
+        "base_eps": 0.5,
+        "trials": 200,
+    },
+    "paper": {
+        "n_sweep": [64, 256, 1024, 4096, 16384],
+        "eps_sweep": [0.25, 0.35, 0.5, 0.7],
+        "base_n": 1024,
+        "base_eps": 0.5,
+        "trials": 400,
+    },
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Measure the classical centralized sample complexity."""
+    if scale not in SCALES:
+        raise InvalidParameterError(f"unknown scale {scale!r}")
+    params = SCALES[scale]
+    rng = ensure_rng(seed)
+    result = ExperimentResult(
+        experiment_id="e07",
+        title="Centralized baseline: q* = Θ(√n/ε²) (Paninski)",
+    )
+
+    for n in params["n_sweep"]:
+        q_star = empirical_sample_complexity(
+            lambda q: CentralizedCollisionTester(n, params["base_eps"], q=q),
+            n=n,
+            epsilon=params["base_eps"],
+            trials=params["trials"],
+            rng=rng,
+        ).resource_star
+        result.add_row(
+            sweep="n",
+            n=n,
+            eps=params["base_eps"],
+            q_star=q_star,
+            lower_bound=centralized_q_lower(n, params["base_eps"]),
+        )
+    for eps in params["eps_sweep"]:
+        q_star = empirical_sample_complexity(
+            lambda q: CentralizedCollisionTester(params["base_n"], eps, q=q),
+            n=params["base_n"],
+            epsilon=eps,
+            trials=params["trials"],
+            rng=rng,
+        ).resource_star
+        result.add_row(
+            sweep="eps",
+            n=params["base_n"],
+            eps=eps,
+            q_star=q_star,
+            lower_bound=centralized_q_lower(params["base_n"], eps),
+        )
+
+    n_rows = [row for row in result.rows if row["sweep"] == "n"]
+    eps_rows = [row for row in result.rows if row["sweep"] == "eps"]
+    fit_n = fit_power_law([r["n"] for r in n_rows], [r["q_star"] for r in n_rows])
+    result.summary["n_exponent (paper: +0.5)"] = fit_n.exponent
+    if len(eps_rows) >= 2:
+        fit_eps = fit_power_law(
+            [r["eps"] for r in eps_rows], [r["q_star"] for r in eps_rows]
+        )
+        result.summary["eps_exponent (paper: -2)"] = fit_eps.exponent
+    result.summary["lower_bound_dominated"] = all(
+        row["q_star"] >= row["lower_bound"] for row in result.rows
+    )
+    return result

@@ -1,0 +1,110 @@
+"""E17 — deploying the referee: rounds, congestion, and topology.
+
+The simultaneous-message model assumes a free referee; §1's sensor-network
+motivation (and the CONGEST/LOCAL results of [7] the paper builds on) ask
+what it costs on a real network.  The answer this experiment regenerates:
+
+* the *decision law* is topology-independent (it is exactly the threshold
+  rule — verified bit-for-bit);
+* the *round cost* is Θ(diameter), not Θ(k);
+* the *per-edge message width* is ⌈log₂(k+1)⌉ bits (an alarm count), the
+  CONGEST footprint of aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..core.referees import ThresholdRule
+from ..distributions.discrete import uniform
+from ..exceptions import InvalidParameterError
+from ..network.tester import NetworkUniformityTester
+from ..network.topology import (
+    connected_gnp_topology,
+    diameter,
+    grid_topology,
+    line_topology,
+    random_tree_topology,
+    star_topology,
+)
+from ..rng import ensure_rng
+from ..stats.fitting import fit_power_law
+from .records import ExperimentResult
+
+SCALES: Dict[str, Dict[str, Any]] = {
+    "small": {"n": 256, "eps": 0.5, "k": 16, "equivalence_checks": 40},
+    "paper": {"n": 1024, "eps": 0.5, "k": 36, "equivalence_checks": 200},
+}
+
+
+def topologies(k: int, rng) -> Dict[str, Any]:
+    side = int(round(k**0.5))
+    return {
+        "star": star_topology(k),
+        "grid": grid_topology(side, k // side),
+        "random_tree": random_tree_topology(k, rng),
+        "sparse_gnp": connected_gnp_topology(k, 2.0 / k, rng),
+        "line": line_topology(k),
+    }
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Measure network costs per topology + verify referee equivalence."""
+    if scale not in SCALES:
+        raise InvalidParameterError(f"unknown scale {scale!r}")
+    params = SCALES[scale]
+    n, eps = params["n"], params["eps"]
+    rng = ensure_rng(seed)
+    result = ExperimentResult(
+        experiment_id="e17",
+        title="Network deployment: O(diameter) rounds, O(log k) message bits",
+    )
+
+    equivalence_failures = 0
+    depths = []
+    aggregation_rounds = []
+    for label, graph in topologies(params["k"], rng).items():
+        k = graph.number_of_nodes()
+        tester = NetworkUniformityTester(graph, n, eps)
+        referee = ThresholdRule(tester.reject_threshold, num_players=k)
+        for _ in range(params["equivalence_checks"]):
+            alarms = rng.integers(0, 2, size=k)
+            report = tester.decide_from_alarms(alarms)
+            if report.accepted != referee.decide(1 - alarms):
+                equivalence_failures += 1
+        report = tester.run(uniform(n), rng)
+        depths.append(report.tree_depth)
+        # Rounds beyond the k-round BFS phase are pure aggregation.
+        aggregation = report.rounds - k
+        aggregation_rounds.append(max(aggregation, 1))
+        result.add_row(
+            topology=label,
+            k=k,
+            diameter=diameter(graph),
+            tree_depth=report.tree_depth,
+            total_rounds=report.rounds,
+            aggregation_rounds=aggregation,
+            messages=report.messages,
+            max_message_bits=report.max_message_bits,
+            verdict_reached_all=report.all_nodes_learned_verdict,
+        )
+
+    result.summary["referee_equivalence_failures (expect 0)"] = equivalence_failures
+    fit = fit_power_law(
+        [max(d, 1) for d in depths], [float(r) for r in aggregation_rounds]
+    )
+    result.summary["aggregation_rounds_vs_depth_exponent (theory: ~1)"] = fit.exponent
+    width_bound = int(np.ceil(np.log2(params["k"] + 1)))
+    result.summary["message_width_within_log_k"] = all(
+        row["max_message_bits"] <= width_bound for row in result.rows
+    )
+    result.summary["all_verdicts_delivered"] = all(
+        row["verdict_reached_all"] for row in result.rows
+    )
+    result.notes.append(
+        "total_rounds includes the k-round BFS-with-known-size phase; "
+        "aggregation_rounds (convergecast + broadcast) are the Θ(depth) part"
+    )
+    return result

@@ -1,0 +1,69 @@
+"""Experiment registry and dispatch."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..exceptions import InvalidParameterError
+from . import (
+    e01_any_rule,
+    e02_and_rule,
+    e03_threshold_T,
+    e04_learning,
+    e05_lemma42,
+    e06_lemma43,
+    e07_centralized,
+    e08_single_sample,
+    e09_asymmetric,
+    e10_combinatorics,
+    e11_kkl,
+    e12_divergence,
+    e13_identity,
+    e14_statistics,
+    e15_hard_family,
+    e16_multibit,
+    e17_network,
+    e18_generalizations,
+    e19_fault_tolerance,
+)
+from .records import ExperimentResult
+
+#: Experiment id → run(scale, seed) callable (see DESIGN.md §3).
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "e01": e01_any_rule.run,
+    "e02": e02_and_rule.run,
+    "e03": e03_threshold_T.run,
+    "e04": e04_learning.run,
+    "e05": e05_lemma42.run,
+    "e06": e06_lemma43.run,
+    "e07": e07_centralized.run,
+    "e08": e08_single_sample.run,
+    "e09": e09_asymmetric.run,
+    "e10": e10_combinatorics.run,
+    "e11": e11_kkl.run,
+    "e12": e12_divergence.run,
+    "e13": e13_identity.run,
+    "e14": e14_statistics.run,
+    "e15": e15_hard_family.run,
+    "e16": e16_multibit.run,
+    "e17": e17_network.run,
+    "e18": e18_generalizations.run,
+    "e19": e19_fault_tolerance.run,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, scale: str = "small", seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id (``"e01"`` ... ``"e12"``)."""
+    key = experiment_id.lower()
+    if key not in EXPERIMENTS:
+        raise InvalidParameterError(
+            f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
+        )
+    return EXPERIMENTS[key](scale=scale, seed=seed)

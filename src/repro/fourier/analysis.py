@@ -1,0 +1,102 @@
+"""Spectral statistics of boolean functions (Facts 2.1 and 2.2).
+
+Everything here is computed *from the Fourier coefficients*, so the test
+suite can cross-check each quantity against its direct combinatorial
+definition — that cross-check is precisely the content of Plancherel's
+theorem and Fact 2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .characters import popcounts
+from .transform import BooleanFunction
+
+
+def _coefficients(f: Union[BooleanFunction, np.ndarray]) -> np.ndarray:
+    if isinstance(f, BooleanFunction):
+        return f.coefficients
+    return np.asarray(f, dtype=np.float64)
+
+
+def spectral_mean(f: BooleanFunction) -> float:
+    """μ(f) = E[f] = f̂(∅) (Fact 2.2)."""
+    return float(f.coefficients[0])
+
+
+def spectral_variance(f: BooleanFunction) -> float:
+    """var(f) = Σ_{S≠∅} f̂(S)² (Fact 2.2)."""
+    coeffs = f.coefficients
+    return float(np.dot(coeffs[1:], coeffs[1:]))
+
+
+def level_weight(f: BooleanFunction, level: int) -> float:
+    """W^{=level}(f) = Σ_{|S|=level} f̂(S)²."""
+    if not 0 <= level <= f.m:
+        raise InvalidParameterError(f"level must be in [0,{f.m}], got {level}")
+    coeffs = f.coefficients
+    counts = popcounts(coeffs.size)
+    selected = coeffs[counts == level]
+    return float(np.dot(selected, selected))
+
+
+def weight_up_to_level(f: BooleanFunction, level: int, include_empty: bool = True) -> float:
+    """W^{<=level}(f) = Σ_{|S| <= level} f̂(S)² (optionally excluding S=∅)."""
+    if not 0 <= level <= f.m:
+        raise InvalidParameterError(f"level must be in [0,{f.m}], got {level}")
+    coeffs = f.coefficients
+    counts = popcounts(coeffs.size)
+    mask = counts <= level
+    if not include_empty:
+        mask[0] = False
+    selected = coeffs[mask]
+    return float(np.dot(selected, selected))
+
+
+def influences(f: BooleanFunction) -> np.ndarray:
+    """Per-coordinate influence ``Inf_j(f) = Σ_{S ∋ j} f̂(S)²``."""
+    coeffs = f.coefficients
+    result = np.empty(f.m, dtype=np.float64)
+    indices = np.arange(coeffs.size)
+    squared = coeffs * coeffs
+    for j in range(f.m):
+        result[j] = float(squared[(indices >> j) & 1 == 1].sum())
+    return result
+
+
+def total_influence(f: BooleanFunction) -> float:
+    """Total influence ``I(f) = Σ_S |S| f̂(S)²``."""
+    coeffs = f.coefficients
+    counts = popcounts(coeffs.size)
+    return float((counts * coeffs * coeffs).sum())
+
+
+def noise_stability(f: BooleanFunction, rho: float) -> float:
+    """Stab_ρ(f) = Σ_S ρ^{|S|} f̂(S)²."""
+    if not -1.0 <= rho <= 1.0:
+        raise InvalidParameterError(f"rho must be in [-1,1], got {rho}")
+    coeffs = f.coefficients
+    counts = popcounts(coeffs.size)
+    return float(((rho ** counts.astype(np.float64)) * coeffs * coeffs).sum())
+
+
+def plancherel_inner_product(f: BooleanFunction, g: BooleanFunction) -> float:
+    """⟨f, g⟩ computed spectrally: Σ_S f̂(S)ĝ(S) (Fact 2.1)."""
+    if f.m != g.m:
+        raise InvalidParameterError(
+            f"functions live on different cubes: m={f.m} vs m={g.m}"
+        )
+    return float(np.dot(f.coefficients, g.coefficients))
+
+
+def direct_inner_product(f: BooleanFunction, g: BooleanFunction) -> float:
+    """⟨f, g⟩ = E_x[f(x)g(x)] computed pointwise (for cross-checking)."""
+    if f.m != g.m:
+        raise InvalidParameterError(
+            f"functions live on different cubes: m={f.m} vs m={g.m}"
+        )
+    return float(np.dot(f.table, g.table) / f.table.size)

@@ -1,0 +1,98 @@
+"""Character functions χ_S and small bit-mask utilities.
+
+Characters form the orthonormal Fourier basis (Section 2).  Subsets
+``S ⊆ [m]`` are encoded as bitmasks throughout the library; these helpers
+keep the encoding honest in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+
+def subset_size(subset_mask: int) -> int:
+    """|S| — the popcount of the mask."""
+    if subset_mask < 0:
+        raise InvalidParameterError(f"subset_mask must be >= 0, got {subset_mask}")
+    return bin(subset_mask).count("1")
+
+
+def subsets_of_size(m: int, size: int) -> Iterator[int]:
+    """Iterate all masks S ⊆ [m] with |S| = size, in increasing order.
+
+    Uses Gosper's hack for constant-time successor computation.
+    """
+    if m < 0:
+        raise InvalidParameterError(f"m must be >= 0, got {m}")
+    if size < 0 or size > m:
+        return
+    if size == 0:
+        yield 0
+        return
+    mask = (1 << size) - 1
+    limit = 1 << m
+    while mask < limit:
+        yield mask
+        # Gosper's hack: next integer with the same popcount.
+        lowest = mask & -mask
+        ripple = mask + lowest
+        mask = ripple | (((mask ^ ripple) >> 2) // lowest)
+
+
+def all_subsets(m: int) -> Iterator[int]:
+    """Iterate every mask 0 .. 2^m - 1."""
+    if m < 0:
+        raise InvalidParameterError(f"m must be >= 0, got {m}")
+    yield from range(1 << m)
+
+
+def character_value(subset_mask: int, point_index: int) -> int:
+    """χ_S(x) = ∏_{j∈S} x_j ∈ {−1, +1} under the library's encoding.
+
+    Bit j of ``point_index`` set means ``x_j = -1``, so the character is
+    ``(-1)^popcount(S & point)``.
+    """
+    if subset_mask < 0 or point_index < 0:
+        raise InvalidParameterError("masks must be non-negative")
+    return -1 if bin(subset_mask & point_index).count("1") % 2 else 1
+
+
+def character_vector(m: int, subset_mask: int) -> np.ndarray:
+    """The full ±1 truth table of χ_S over {−1,+1}^m."""
+    if not 0 <= subset_mask < (1 << m):
+        raise InvalidParameterError(f"subset_mask {subset_mask} outside [0, 2^{m})")
+    indices = np.arange(1 << m)
+    overlaps = indices & subset_mask
+    parities = np.zeros(1 << m, dtype=np.int64)
+    work = overlaps.copy()
+    while work.any():
+        parities ^= work & 1
+        work >>= 1
+    return np.where(parities == 0, 1, -1).astype(np.int64)
+
+
+def masks_by_level(m: int) -> List[np.ndarray]:
+    """``result[r]`` = array of all masks with popcount r (r = 0..m)."""
+    if m < 0:
+        raise InvalidParameterError(f"m must be >= 0, got {m}")
+    buckets: List[List[int]] = [[] for _ in range(m + 1)]
+    for mask in range(1 << m):
+        buckets[bin(mask).count("1")].append(mask)
+    return [np.asarray(bucket, dtype=np.int64) for bucket in buckets]
+
+
+def popcounts(limit: int) -> np.ndarray:
+    """Vector of popcounts for 0..limit-1 (vectorised)."""
+    if limit < 0:
+        raise InvalidParameterError(f"limit must be >= 0, got {limit}")
+    indices = np.arange(limit, dtype=np.int64)
+    counts = np.zeros(limit, dtype=np.int64)
+    work = indices.copy()
+    while work.any():
+        counts += work & 1
+        work >>= 1
+    return counts

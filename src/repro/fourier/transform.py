@@ -1,0 +1,229 @@
+"""Fast Walsh–Hadamard transform and the :class:`BooleanFunction` type.
+
+Encoding conventions
+--------------------
+A point of the cube ``{-1,+1}^m`` is encoded as an integer index
+``i ∈ {0, ..., 2^m - 1}``: bit ``j`` of ``i`` equal to 0 means coordinate
+``x_j = +1`` and bit 1 means ``x_j = -1``.  A character set ``S ⊆ [m]`` is
+encoded as the bitmask with bit ``j`` set iff ``j ∈ S``.  Under this
+encoding ``χ_S(x) = (-1)^popcount(S & i)``, which is exactly the (unnormalised)
+Hadamard matrix entry — so the full Fourier transform is one fast
+Walsh–Hadamard pass, ``O(m·2^m)``.
+
+The normalisation follows the paper: ``f̂(S) = E_x[f(x) χ_S(x)]`` (expectation
+over the uniform cube), so Parseval reads ``E[f²] = Σ_S f̂(S)²``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import DimensionMismatchError, InvalidParameterError
+from ..rng import RngLike, ensure_rng
+
+
+def _validate_table(values: np.ndarray) -> int:
+    """Return m such that len(values) == 2^m, or raise."""
+    size = values.size
+    if size == 0 or size & (size - 1):
+        raise InvalidParameterError(
+            f"truth-table length must be a power of two, got {size}"
+        )
+    return int(size.bit_length() - 1)
+
+
+def walsh_hadamard_transform(values: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+    """Fourier coefficients ``f̂(S) = E_x[f(x)χ_S(x)]`` for all S at once.
+
+    Input is the truth table of ``f`` over the index encoding above; output
+    index ``S`` (as a bitmask) holds ``f̂(S)``.
+    """
+    table = np.asarray(values, dtype=np.float64).copy()
+    m = _validate_table(table)
+    h = 1
+    while h < table.size:
+        # classic in-place butterfly
+        for start in range(0, table.size, 2 * h):
+            left = table[start : start + h].copy()
+            right = table[start + h : start + 2 * h].copy()
+            table[start : start + h] = left + right
+            table[start + h : start + 2 * h] = left - right
+        h *= 2
+    return table / table.size
+
+
+def inverse_walsh_hadamard_transform(
+    coefficients: Union[Sequence[float], np.ndarray]
+) -> np.ndarray:
+    """Rebuild the truth table from Fourier coefficients (exact inverse)."""
+    coeffs = np.asarray(coefficients, dtype=np.float64)
+    _validate_table(coeffs)
+    # The WHT is an involution up to normalisation: H (H f / N) = f.
+    return walsh_hadamard_transform(coeffs) * coeffs.size
+
+
+class BooleanFunction:
+    """A real-valued function on the boolean cube with cached spectrum.
+
+    Most library uses are honest boolean functions (``{0,1}`` or ``{-1,+1}``
+    valued), but the class supports arbitrary real tables — the paper treats
+    probability densities on the cube the same way (Section 3).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> parity = BooleanFunction([1, -1, -1, 1])  # x1*x2 on {-1,1}^2
+    >>> np.argmax(np.abs(parity.coefficients))    # only S={0,1} = 0b11 is live
+    np.int64(3)
+    """
+
+    __slots__ = ("_table", "_m", "_coefficients")
+
+    def __init__(self, values: Union[Sequence[float], np.ndarray]):
+        table = np.asarray(values, dtype=np.float64).copy()
+        self._m = _validate_table(table)
+        table.setflags(write=False)
+        self._table = table
+        self._coefficients: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # constructors                                                       #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_callable(cls, m: int, func: Callable[[np.ndarray], float]) -> "BooleanFunction":
+        """Tabulate ``func`` over all points of ``{-1,+1}^m``.
+
+        ``func`` receives a ±1 vector of length ``m`` per point.
+        """
+        if m < 0:
+            raise InvalidParameterError(f"m must be >= 0, got {m}")
+        indices = np.arange(2**m)
+        table = np.empty(2**m, dtype=np.float64)
+        for i in indices:
+            bits = (i >> np.arange(m)) & 1
+            point = np.where(bits == 0, 1, -1).astype(np.int64)
+            table[i] = func(point)
+        return cls(table)
+
+    @classmethod
+    def random_boolean(cls, m: int, bias: float = 0.5, rng: RngLike = None) -> "BooleanFunction":
+        """A random ``{0,1}``-valued function; each output is 1 w.p. ``bias``."""
+        if not 0.0 <= bias <= 1.0:
+            raise InvalidParameterError(f"bias must be in [0,1], got {bias}")
+        generator = ensure_rng(rng)
+        return cls((generator.random(2**m) < bias).astype(np.float64))
+
+    @classmethod
+    def dictator(cls, m: int, coordinate: int) -> "BooleanFunction":
+        """The ±1 dictator function ``f(x) = x_coordinate``."""
+        if not 0 <= coordinate < m:
+            raise InvalidParameterError(f"coordinate {coordinate} outside [0,{m})")
+        indices = np.arange(2**m)
+        bits = (indices >> coordinate) & 1
+        return cls(np.where(bits == 0, 1.0, -1.0))
+
+    @classmethod
+    def parity(cls, m: int, subset_mask: int) -> "BooleanFunction":
+        """The character χ_S itself, for S given as a bitmask."""
+        if not 0 <= subset_mask < 2**m:
+            raise InvalidParameterError(
+                f"subset_mask {subset_mask} outside [0, 2^{m})"
+            )
+        indices = np.arange(2**m)
+        overlaps = indices & subset_mask
+        parities = np.zeros(2**m, dtype=np.int64)
+        # popcount per entry (vectorised bit trick)
+        work = overlaps.copy()
+        while work.any():
+            parities ^= work & 1
+            work >>= 1
+        return cls(np.where(parities == 0, 1.0, -1.0))
+
+    # ------------------------------------------------------------------ #
+    # accessors                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def m(self) -> int:
+        """Number of cube coordinates."""
+        return self._m
+
+    @property
+    def table(self) -> np.ndarray:
+        """Read-only truth table indexed by the point encoding."""
+        return self._table
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """All Fourier coefficients ``f̂(S)``, indexed by the mask of S."""
+        if self._coefficients is None:
+            coeffs = walsh_hadamard_transform(self._table)
+            coeffs.setflags(write=False)
+            self._coefficients = coeffs
+        return self._coefficients
+
+    def coefficient(self, subset_mask: int) -> float:
+        """A single coefficient ``f̂(S)``."""
+        if not 0 <= subset_mask < self._table.size:
+            raise InvalidParameterError(
+                f"subset_mask {subset_mask} outside [0, {self._table.size})"
+            )
+        return float(self.coefficients[subset_mask])
+
+    def __call__(self, point_index: int) -> float:
+        """Evaluate at an encoded cube point."""
+        return float(self._table[point_index])
+
+    def evaluate_vector(self, point: Sequence[int]) -> float:
+        """Evaluate at an explicit ±1 vector."""
+        vec = np.asarray(point, dtype=np.int64)
+        if vec.shape != (self._m,):
+            raise DimensionMismatchError(
+                f"point has shape {vec.shape}, expected ({self._m},)"
+            )
+        if not np.all(np.isin(vec, (-1, 1))):
+            raise InvalidParameterError("point entries must be ±1")
+        bits = (vec == -1).astype(np.int64)
+        index = int((bits << np.arange(self._m)).sum())
+        return float(self._table[index])
+
+    # ------------------------------------------------------------------ #
+    # algebra                                                            #
+    # ------------------------------------------------------------------ #
+
+    def restrict_prefix(self, prefix_index: int, prefix_length: int) -> "BooleanFunction":
+        """Fix the *low* ``prefix_length`` coordinates to the encoded value.
+
+        Returns the function of the remaining ``m - prefix_length``
+        coordinates.  This realises the paper's ``G_x(s) = G(x, s)``
+        restriction when the ``x``-part occupies the low bits.
+        """
+        if not 0 <= prefix_length <= self._m:
+            raise InvalidParameterError(
+                f"prefix_length must be in [0,{self._m}], got {prefix_length}"
+            )
+        if not 0 <= prefix_index < 2**prefix_length:
+            raise InvalidParameterError(
+                f"prefix_index {prefix_index} outside [0, 2^{prefix_length})"
+            )
+        remaining = self._m - prefix_length
+        suffixes = np.arange(2**remaining)
+        return BooleanFunction(self._table[(suffixes << prefix_length) | prefix_index])
+
+    def negate(self) -> "BooleanFunction":
+        """``1 - f`` for {0,1}-valued tables (used by the biased-G analysis)."""
+        return BooleanFunction(1.0 - self._table)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanFunction):
+            return NotImplemented
+        return bool(np.array_equal(self._table, other._table))
+
+    def __hash__(self) -> int:
+        return hash(self._table.tobytes())
+
+    def __repr__(self) -> str:
+        return f"BooleanFunction(m={self._m})"

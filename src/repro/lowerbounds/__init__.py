@@ -1,0 +1,95 @@
+"""The paper's lower bounds, made executable.
+
+* :mod:`repro.lowerbounds.theorems` — closed-form lower-bound formulas for
+  Theorems 1.1–1.4 (and the extensions of Section 6.2), with their
+  validity regimes.
+* :mod:`repro.lowerbounds.lemma_engine` — exact, enumeration-based
+  evaluation of the quantities in Lemmas 4.1/4.2/4.3/4.4/5.1, so each
+  inequality can be verified instance by instance on small cubes.
+* :mod:`repro.lowerbounds.divergence` — the information-theoretic glue of
+  Section 6.1: KL additivity (Fact 6.2), the Bernoulli χ² comparison
+  (Fact 6.3), and the Eq. (13) regime calculus.
+"""
+
+from .theorems import (
+    theorem_1_1_q_lower,
+    theorem_1_2_q_lower,
+    theorem_1_3_q_lower,
+    theorem_1_4_k_lower,
+    theorem_6_4_q_lower,
+    centralized_q_lower,
+    asymmetric_tau_lower,
+    single_sample_k_lower,
+)
+from .lemma_engine import (
+    LEMMA_4_2_LINEAR_COEFFICIENT,
+    GTable,
+    LemmaCheck,
+    mu_of_g,
+    var_of_g,
+    nu_z_of_g,
+    z_statistics,
+    lemma_4_1_identity_gap,
+    check_lemma_5_1,
+    check_lemma_4_2,
+    check_lemma_4_3,
+    check_lemma_4_4,
+    lemma_4_4_required_constant,
+    random_g,
+    constant_g,
+    no_collision_g,
+    collision_threshold_g,
+    sign_dictator_g,
+)
+from .impossibility import ImpossibilityReport, verify_q1_and_impossibility
+from .divergence import (
+    required_divergence,
+    asymmetric_required_divergence,
+    asymmetric_q_lower_bound,
+    bernoulli_divergence,
+    fact_6_3_bound,
+    check_fact_6_3,
+    exact_protocol_divergence,
+    inequality_13_q_lower_bound,
+    kl_is_additive_for_product,
+)
+
+__all__ = [
+    "theorem_1_1_q_lower",
+    "theorem_1_2_q_lower",
+    "theorem_1_3_q_lower",
+    "theorem_1_4_k_lower",
+    "theorem_6_4_q_lower",
+    "centralized_q_lower",
+    "asymmetric_tau_lower",
+    "single_sample_k_lower",
+    "LEMMA_4_2_LINEAR_COEFFICIENT",
+    "GTable",
+    "LemmaCheck",
+    "mu_of_g",
+    "var_of_g",
+    "nu_z_of_g",
+    "z_statistics",
+    "lemma_4_1_identity_gap",
+    "check_lemma_5_1",
+    "check_lemma_4_2",
+    "check_lemma_4_3",
+    "check_lemma_4_4",
+    "lemma_4_4_required_constant",
+    "random_g",
+    "constant_g",
+    "no_collision_g",
+    "collision_threshold_g",
+    "sign_dictator_g",
+    "ImpossibilityReport",
+    "verify_q1_and_impossibility",
+    "required_divergence",
+    "asymmetric_required_divergence",
+    "asymmetric_q_lower_bound",
+    "bernoulli_divergence",
+    "fact_6_3_bound",
+    "check_fact_6_3",
+    "exact_protocol_divergence",
+    "inequality_13_q_lower_bound",
+    "kl_is_additive_for_product",
+]

@@ -1,0 +1,186 @@
+"""The information-theoretic argument of Section 6.1.
+
+The referee only ever sees the k player bits.  For it to distinguish
+uniform from ε-far inputs with probability 1-δ, the joint bit distributions
+must differ by ``Ω(log 1/δ)`` in KL divergence; by additivity (Fact 6.2)
+that divergence splits across players, and by the χ² comparison (Fact 6.3)
+each player's share is bounded by Lemma 4.2.  Chaining the three gives the
+Eq. (13) regime calculus and Theorem 6.1.
+
+This module implements each link exactly so the chain can be verified
+end-to-end on small instances (experiment E12).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..distributions.distances import (
+    bernoulli_kl,
+    bernoulli_kl_chi2_bound,
+    kl_divergence,
+)
+from ..distributions.families import PaninskiFamily
+from ..exceptions import InvalidParameterError
+from .lemma_engine import GTable, z_statistics
+
+
+def required_divergence(delta: float) -> float:
+    """The Eq. (10) requirement: total divergence > (1/10)·log₂(1/δ)."""
+    if not 0.0 < delta < 1.0:
+        raise InvalidParameterError(f"delta must be in (0,1), got {delta}")
+    return 0.1 * math.log2(1.0 / delta)
+
+
+def asymmetric_required_divergence(delta_reject_uniform: float, delta_accept_far: float) -> float:
+    """The §6.2-remark refinement of Eq. (10) for asymmetric errors.
+
+    With ``δ₁ = P[reject | uniform]`` and ``δ₀ = P[accept | far]``, the
+    ``log(1/δ)`` term is replaced by ``D(B(δ₁) || B(1−δ₀))`` — which blows
+    up when the tester must be *highly biased* (tiny δ₁) and explains why
+    the biased tester of [7] is sample-optimal in that regime.
+    """
+    for name, value in (
+        ("delta_reject_uniform", delta_reject_uniform),
+        ("delta_accept_far", delta_accept_far),
+    ):
+        if not 0.0 < value < 1.0:
+            raise InvalidParameterError(f"{name} must be in (0,1), got {value}")
+    return 0.1 * bernoulli_kl(delta_reject_uniform, 1.0 - delta_accept_far)
+
+
+def asymmetric_q_lower_bound(
+    n: int,
+    k: int,
+    epsilon: float,
+    delta_reject_uniform: float,
+    delta_accept_far: float,
+    constant: float = 0.005,
+) -> float:
+    """Eq. (13) with the asymmetric-error divergence requirement.
+
+    Solving ``max(q²ε⁴/n, qε²/n) ≥ c·D(B(δ₁)||B(1−δ₀))/k`` for q.  As
+    δ₁ → 0 with δ₀ fixed the bound grows like log(1/δ₁) — the price of a
+    one-sided tester, matching the optimality of [7]'s biased tester.
+    """
+    if n < 2 or k < 1:
+        raise InvalidParameterError(f"need n >= 2 and k >= 1, got n={n}, k={k}")
+    if not 0.0 < epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0,1), got {epsilon}")
+    level = constant * bernoulli_kl(
+        delta_reject_uniform, 1.0 - delta_accept_far
+    ) / k
+    return min(math.sqrt(n * level) / epsilon**2, n * level / epsilon**2)
+
+
+def bernoulli_divergence(alpha: float, beta: float) -> float:
+    """D(B(α) || B(β)) in bits — one player's divergence contribution."""
+    return bernoulli_kl(alpha, beta)
+
+
+def fact_6_3_bound(alpha: float, beta: float) -> float:
+    """The χ² upper bound of Fact 6.3: (α-β)²/(var(B(β))·ln 2)."""
+    return bernoulli_kl_chi2_bound(alpha, beta)
+
+
+def check_fact_6_3(alpha: float, beta: float, slack: float = 1e-12) -> bool:
+    """Whether Fact 6.3 holds for this (α, β) pair (it always should)."""
+    lhs = bernoulli_divergence(alpha, beta)
+    rhs = fact_6_3_bound(alpha, beta)
+    if math.isinf(rhs):
+        return True
+    return lhs <= rhs + slack
+
+
+def exact_protocol_divergence(
+    g_tables: Sequence[GTable], family: PaninskiFamily, q: int
+) -> float:
+    """E_z[ Σ_j D(ν^z_{G_j} || μ_{G_j}) ] computed exactly.
+
+    By Fact 6.2 (independence of players' samples given z) the joint
+    divergence is the sum of per-player Bernoulli divergences; we enumerate
+    all z and average.  This is the exact LHS of Eq. (10).
+    """
+    if not g_tables:
+        raise InvalidParameterError("need at least one player table")
+    per_player_stats = [z_statistics(g, family, q) for g in g_tables]
+    total = 0.0
+    for z_index in range(family.family_size):
+        for stats in per_player_stats:
+            alpha = float(stats.values[z_index])
+            beta = stats.mu
+            divergence = bernoulli_divergence(alpha, beta)
+            if math.isinf(divergence):
+                return float("inf")
+            total += divergence
+    return total / family.family_size
+
+
+def per_player_divergence_bound(
+    g: GTable, family: PaninskiFamily, q: int
+) -> float:
+    """The Lemma 4.2 + Fact 6.3 chain for one player:
+
+    E_z[D(ν^z_G || μ_G)] ≤ (1/ln 2)·(20q²ε⁴/n + 2qε²/n)
+
+    (the var(G) factors cancel between Fact 6.3's denominator and Lemma
+    4.2's RHS, exactly as in inequality (12) of the paper).  The linear
+    term carries the corrected coefficient 2 inherited from Lemma 4.2 —
+    see :data:`repro.lowerbounds.lemma_engine.LEMMA_4_2_LINEAR_COEFFICIENT`.
+    """
+    from .lemma_engine import LEMMA_4_2_LINEAR_COEFFICIENT
+
+    n, eps = family.n, family.epsilon
+    return (
+        20.0 * q**2 * eps**4 / n
+        + LEMMA_4_2_LINEAR_COEFFICIENT * q * eps**2 / n
+    ) / math.log(2.0)
+
+
+def inequality_13_q_lower_bound(
+    n: int, k: int, epsilon: float, delta: float = 1.0 / 3.0, constant: float = 0.005
+) -> float:
+    """Solve Eq. (13) for q: the per-player sample lower bound.
+
+    Eq. (13): ``max(q²ε⁴/n, qε²/n) ≥ Ω(log(1/δ)/k)``.  Writing
+    ``L = constant·log₂(1/δ)/k``, a protocol can only succeed when either
+    branch reaches L, so ``q ≥ min(√(nL)/ε², nL/ε²)``.
+    """
+    if n < 2 or k < 1:
+        raise InvalidParameterError(f"need n >= 2 and k >= 1, got n={n}, k={k}")
+    if not 0.0 < epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0,1), got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise InvalidParameterError(f"delta must be in (0,1), got {delta}")
+    level = constant * math.log2(1.0 / delta) / k
+    return min(math.sqrt(n * level) / epsilon**2, n * level / epsilon**2)
+
+
+def kl_is_additive_for_product(
+    p_marginals: Sequence[np.ndarray],
+    q_marginals: Sequence[np.ndarray],
+    slack: float = 1e-9,
+) -> bool:
+    """Numerically verify Fact 6.2 on explicit product distributions.
+
+    Builds the two product distributions, computes the joint KL directly,
+    and compares against the sum of marginal KLs.
+    """
+    if len(p_marginals) != len(q_marginals) or not p_marginals:
+        raise InvalidParameterError("need equal, non-empty marginal lists")
+    p_joint = np.array([1.0])
+    q_joint = np.array([1.0])
+    marginal_sum = 0.0
+    for p_m, q_m in zip(p_marginals, q_marginals):
+        p_arr = np.asarray(p_m, dtype=np.float64)
+        q_arr = np.asarray(q_m, dtype=np.float64)
+        marginal_sum += kl_divergence(p_arr, q_arr)
+        p_joint = np.outer(p_joint, p_arr).ravel()
+        q_joint = np.outer(q_joint, q_arr).ravel()
+    joint = kl_divergence(p_joint, q_joint)
+    if math.isinf(joint) or math.isinf(marginal_sum):
+        return math.isinf(joint) == math.isinf(marginal_sum)
+    return abs(joint - marginal_sum) <= slack * max(1.0, abs(joint))

@@ -1,0 +1,104 @@
+"""The q = 1 AND-rule impossibility (remark after Theorem 1.2).
+
+The paper remarks that in the single-sample setting of [1], uniformity
+testing with the AND decision rule is *impossible regardless of the number
+of players* (proof in the full version).  For identical players the
+mechanism is a one-line convexity fact, and on small universes we can
+verify it **exhaustively**:
+
+With q = 1, a player's bit is a table ``G : [n] → {0,1}``, and the AND
+network's acceptance probability is a product across players.  For k
+identical players,
+
+    P[accept | ν_z-far mixture] = E_z[ν_z(G)^k]
+                                ≥ (E_z[ν_z(G)])^k      (Jensen, x ↦ x^k convex)
+                                = μ(G)^k               (E_z[ν_z] = U_n exactly)
+                                = P[accept | uniform],
+
+so the network accepts the far mixture *at least as often* as the uniform
+distribution — completeness and soundness can never hold simultaneously,
+for any k.  :func:`verify_q1_and_impossibility` checks the inequality for
+**every** one of the 2^n deterministic player tables and a grid of k's,
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..distributions.families import PaninskiFamily
+from ..exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class ImpossibilityReport:
+    """Result of the exhaustive q=1 AND-rule check."""
+
+    tables_checked: int
+    k_values: tuple
+    violations: int          # cases with accept_far < accept_uniform - tol
+    max_separation: float    # max over instances of (uniform - far) acceptance
+    best_min_success: float  # best min(completeness, soundness) achievable
+
+    @property
+    def impossibility_holds(self) -> bool:
+        """Whether no protocol achieved both-sided 2/3 correctness."""
+        return self.best_min_success < 2.0 / 3.0
+
+
+def _nu_z_of_table(family: PaninskiFamily, table: np.ndarray) -> np.ndarray:
+    """ν_z(G) for every z, exactly, for a q = 1 table G over [n]."""
+    values = np.empty(family.family_size, dtype=np.float64)
+    for index, z in enumerate(family.all_z()):
+        values[index] = float(np.dot(family.distribution(z).pmf, table))
+    return values
+
+
+def verify_q1_and_impossibility(
+    n: int,
+    epsilon: float,
+    k_values: Sequence[int] = (1, 2, 4, 8, 16, 64, 256),
+    tolerance: float = 1e-12,
+) -> ImpossibilityReport:
+    """Exhaustively verify E_z[ν_z(G)^k] ≥ μ(G)^k for ALL q=1 player bits.
+
+    Enumerates every deterministic table G : [n] → {0,1} (requires small
+    n), computes both acceptance probabilities exactly, and also records
+    the best achievable min(completeness, soundness) — which must stay
+    below 2/3 for the impossibility to hold.
+    """
+    if n > 12:
+        raise InvalidParameterError(
+            f"exhaustive table enumeration needs n <= 12, got {n}"
+        )
+    if not k_values:
+        raise InvalidParameterError("k_values must be non-empty")
+    family = PaninskiFamily(n, epsilon)
+    violations = 0
+    max_separation = 0.0
+    best_min_success = 0.0
+    tables_checked = 0
+    for mask in range(2**n):
+        table = np.array([(mask >> i) & 1 for i in range(n)], dtype=np.float64)
+        mu = float(table.mean())  # acceptance under U_n
+        nu_values = _nu_z_of_table(family, table)
+        tables_checked += 1
+        for k in k_values:
+            accept_uniform = mu**k
+            accept_far = float((nu_values**k).mean())
+            separation = accept_uniform - accept_far
+            if separation > tolerance:
+                violations += 1
+            max_separation = max(max_separation, separation)
+            min_success = min(accept_uniform, 1.0 - accept_far)
+            best_min_success = max(best_min_success, min_success)
+    return ImpossibilityReport(
+        tables_checked=tables_checked,
+        k_values=tuple(int(k) for k in k_values),
+        violations=violations,
+        max_separation=max_separation,
+        best_min_success=best_min_success,
+    )

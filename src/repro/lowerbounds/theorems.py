@@ -1,0 +1,155 @@
+"""Closed-form lower-bound formulas (Theorems 1.1–1.4 and extensions).
+
+Each function returns the paper's asymptotic lower bound instantiated with
+an explicit constant ``C`` (asymptotic statements hide constants; the
+default ``C`` values are deliberately conservative so that measured upper
+bounds always dominate the formula, which is what the benchmarks assert).
+Functions raise :class:`InvalidParameterError` outside the theorem's stated
+validity regime rather than silently extrapolating.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import InvalidParameterError
+
+
+def _validate_common(n: int, epsilon: float) -> None:
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+    if not 0.0 < epsilon < 1.0:
+        raise InvalidParameterError(f"epsilon must be in (0,1), got {epsilon}")
+
+
+def centralized_q_lower(n: int, epsilon: float, constant: float = 0.05) -> float:
+    """The classical centralized bound q = Ω(√n/ε²) ([16], recovered at k=1)."""
+    _validate_common(n, epsilon)
+    return constant * math.sqrt(n) / epsilon**2
+
+
+def theorem_1_1_q_lower(n: int, k: int, epsilon: float, constant: float = 0.05) -> float:
+    """Theorem 1.1 / 6.1: q = Ω((1/ε²)·min(√(n/k), n/k)) for *any* rule.
+
+    The ``n/k`` branch takes over when ``k > n`` (more players than domain
+    elements); for ``k ≤ n`` this is the familiar √(n/k)/ε².
+    """
+    _validate_common(n, epsilon)
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    return constant / epsilon**2 * min(math.sqrt(n / k), n / k)
+
+
+def theorem_1_2_q_lower(
+    n: int, k: int, epsilon: float, constant: float = 0.05, regime_constant: float = 4.0
+) -> float:
+    """Theorem 1.2: with the AND rule, q = Ω(√n / (log²(k)·ε²)).
+
+    Valid for ``k ≤ 2^(c/ε)`` with ``c = regime_constant`` (the paper's c is
+    an unspecified universal constant; the default 4.0 is deliberately
+    generous); outside that regime the theorem makes no claim and we refuse
+    to extrapolate.
+    """
+    _validate_common(n, epsilon)
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if math.log2(max(k, 2)) > regime_constant / epsilon:
+        raise InvalidParameterError(
+            f"Theorem 1.2 requires k <= 2^(c/eps): log2(k)={math.log2(k):.2f} "
+            f"exceeds c/eps={regime_constant / epsilon:.2f}"
+        )
+    log_k = max(math.log2(max(k, 2)), 1.0)
+    return constant * math.sqrt(n) / (log_k**2 * epsilon**2)
+
+
+def theorem_1_3_q_lower(
+    n: int,
+    k: int,
+    epsilon: float,
+    reject_threshold: int,
+    constant: float = 0.05,
+    regime_constant: float = 16.0,
+) -> float:
+    """Theorem 1.3: with the T-threshold rule and small T,
+    q = Ω(√n / (T·log²(k/ε)·ε²)).
+
+    Valid when ``k ≤ √n`` and ``T < c/(ε²·log²(k/ε))`` — the paper's c is
+    an unspecified universal constant; the generous default keeps small-T
+    sweeps at moderate ε inside the regime.
+    """
+    _validate_common(n, epsilon)
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if reject_threshold < 1:
+        raise InvalidParameterError(
+            f"reject_threshold must be >= 1, got {reject_threshold}"
+        )
+    if k > math.sqrt(n):
+        raise InvalidParameterError(
+            f"Theorem 1.3 requires k <= sqrt(n); got k={k}, sqrt(n)={math.sqrt(n):.1f}"
+        )
+    log_term = max(math.log2(max(k / epsilon, 2.0)), 1.0)
+    if reject_threshold >= regime_constant / (epsilon**2 * log_term**2):
+        raise InvalidParameterError(
+            f"Theorem 1.3 requires T < c/(eps² log²(k/eps)); "
+            f"T={reject_threshold} is outside the regime"
+        )
+    return constant * math.sqrt(n) / (reject_threshold * log_term**2 * epsilon**2)
+
+
+def theorem_1_4_k_lower(n: int, q: int, constant: float = 0.01) -> float:
+    """Theorem 1.4: learning a δ-approximation needs k = Ω(n²/q²) players."""
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+    if q < 1:
+        raise InvalidParameterError(f"q must be >= 1, got {q}")
+    return constant * n * n / (q * q)
+
+
+def theorem_6_4_q_lower(
+    n: int, k: int, epsilon: float, message_bits: int, constant: float = 0.05
+) -> float:
+    """Theorem 6.4: with r-bit messages, q = Ω((1/ε²)·min(√(n/(2^r k)), n/(2^r k))).
+
+    The 2^{-Θ(r)} decay in the lower bound reflects that longer messages can
+    carry more information about the samples.
+    """
+    _validate_common(n, epsilon)
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if message_bits < 1:
+        raise InvalidParameterError(
+            f"message_bits must be >= 1, got {message_bits}"
+        )
+    effective_k = (2**message_bits) * k
+    return constant / epsilon**2 * min(math.sqrt(n / effective_k), n / effective_k)
+
+
+def single_sample_k_lower(
+    n: int, epsilon: float, message_bits: int = 1, constant: float = 0.05
+) -> float:
+    """The q = 1 specialisation: k = Ω(n/(2^{r/2}... ε²)) players needed.
+
+    Recovered from Eq. (13) with q = 1 ≤ 1/ε²: ``k ≥ C·n/ε²`` for one-bit
+    messages, decaying with message length as in [1].
+    """
+    _validate_common(n, epsilon)
+    if message_bits < 1:
+        raise InvalidParameterError(
+            f"message_bits must be >= 1, got {message_bits}"
+        )
+    return constant * n / (2 ** (message_bits / 2.0) * epsilon**2)
+
+
+def asymmetric_tau_lower(
+    n: int, epsilon: float, rates, constant: float = 0.05
+) -> float:
+    """Section 6.2: time budget τ = Ω(√n / (ε²·‖T‖₂)) for rate profile T."""
+    import numpy as np
+
+    _validate_common(n, epsilon)
+    rate_arr = np.asarray(rates, dtype=np.float64)
+    norm = float(np.linalg.norm(rate_arr))
+    if norm <= 0:
+        raise InvalidParameterError("rate profile must have positive norm")
+    return constant * math.sqrt(n) / (epsilon**2 * norm)

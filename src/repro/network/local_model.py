@@ -1,0 +1,152 @@
+"""The LOCAL-model view: sampling while the network aggregates (§6.2).
+
+Section 6.2 recounts how [7] reduced LOCAL-model uniformity testing to the
+simultaneous case, arriving at the asymmetric-cost model: the network runs
+for wall-clock time τ, node i samples at its own rate ``T_i`` and collects
+``q_i = T_i · τ`` samples; the optimal τ is ``Θ(√n/(ε²·‖T‖₂))`` — unless
+the network's *diameter* dominates, because the verdict still has to
+travel.
+
+:class:`LocalUniformityTester` composes the two substrates accordingly:
+
+* the statistical side is exactly :class:`~repro.core.tradeoffs.
+  AsymmetricRateTester` (per-rate calibrated alarm bits, count referee);
+* the communication side is the spanning-tree aggregation of
+  :mod:`repro.network` — so the end-to-end wall-clock time reported is
+  ``max(τ_sampling, …) + Θ(depth)`` rounds, making the paper's
+  "τ vs diameter" trade-off measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..core.tradeoffs import AsymmetricRateTester, optimal_time_budget
+from ..distributions.discrete import DiscreteDistribution
+from ..exceptions import InvalidParameterError
+from ..rng import RngLike, ensure_rng
+from .aggregation import broadcast_value, convergecast_sum
+from .spanning_tree import build_bfs_tree, tree_depth
+from .topology import validate_topology
+
+
+@dataclass
+class LocalRunReport:
+    """One LOCAL-model execution: verdict plus the time decomposition."""
+
+    accepted: bool
+    alarm_count: int
+    sampling_time: float
+    aggregation_rounds: int
+    total_time: float
+    samples_per_node: list
+
+
+class LocalUniformityTester:
+    """Uniformity testing in the LOCAL/asymmetric-rate network model.
+
+    Parameters
+    ----------
+    graph:
+        Connected topology; node count fixes k and node ``root`` collects
+        the verdict.
+    n, epsilon:
+        The testing problem.
+    rates:
+        Per-node sampling rates T_i (samples per round).
+    tau:
+        Sampling time; defaults to the [7] optimum
+        ``Θ(√n/(ε²·‖T‖₂))``.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        n: int,
+        epsilon: float,
+        rates: Sequence[float],
+        tau: Optional[float] = None,
+        root: int = 0,
+        calibration_rng: RngLike = 0,
+    ):
+        validate_topology(graph)
+        rate_arr = np.asarray(rates, dtype=np.float64)
+        if rate_arr.size != graph.number_of_nodes():
+            raise InvalidParameterError(
+                f"need one rate per node: {graph.number_of_nodes()} nodes, "
+                f"{rate_arr.size} rates"
+            )
+        self.graph = graph
+        self.k = graph.number_of_nodes()
+        self.tau = float(tau) if tau is not None else optimal_time_budget(
+            n, epsilon, rate_arr
+        )
+        self._statistical = AsymmetricRateTester(
+            n, epsilon, rate_arr, self.tau, calibration_rng=calibration_rng
+        )
+        self.n, self.epsilon = n, epsilon
+        self.parents, self.levels, self._bfs_stats = build_bfs_tree(graph, root)
+
+    @property
+    def sample_counts(self) -> list:
+        """Per-node sample counts q_i = round(T_i · τ)."""
+        return list(self._statistical.sample_counts)
+
+    def run(
+        self, distribution: DiscreteDistribution, rng: RngLike = None
+    ) -> LocalRunReport:
+        """One LOCAL-model execution with its time decomposition."""
+        generator = ensure_rng(rng)
+        # Per-node alarm bits via the calibrated asymmetric protocol.
+        protocol = self._statistical.protocol
+        alarms = []
+        for player in protocol.players:
+            samples = distribution.sample_matrix(1, player.num_samples, generator)
+            bit = int(player.strategy.respond_batch(samples, generator)[0])
+            alarms.append(1 - bit)
+        threshold = (
+            self._statistical.expected_uniform_alarms
+            + self._statistical.expected_far_alarms
+        ) / 2.0
+        total, up_stats = convergecast_sum(
+            self.graph, self.parents, alarms, self.levels
+        )
+        accepted = total < threshold
+        _, down_stats = broadcast_value(
+            self.graph, self.parents, int(accepted), self.levels
+        )
+        aggregation_rounds = (
+            self._bfs_stats.rounds + up_stats.rounds + down_stats.rounds
+        )
+        return LocalRunReport(
+            accepted=accepted,
+            alarm_count=total,
+            sampling_time=self.tau,
+            aggregation_rounds=aggregation_rounds,
+            total_time=self.tau + aggregation_rounds,
+            samples_per_node=self.sample_counts,
+        )
+
+    def acceptance_probability(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> float:
+        """Monte Carlo acceptance estimate."""
+        if trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+        generator = ensure_rng(rng)
+        hits = sum(self.run(distribution, generator).accepted for _ in range(trials))
+        return hits / trials
+
+    def time_decomposition(self) -> dict:
+        """The §6.2 trade-off: sampling time vs aggregation rounds."""
+        depth = tree_depth(self.levels)
+        return {
+            "sampling_tau": self.tau,
+            "tree_depth": depth,
+            "aggregation_bound": self.k + 2 * (depth + 2),
+            "diameter_dominated": depth > self.tau,
+        }

@@ -1,0 +1,161 @@
+"""End-to-end uniformity testing over a message-passing network.
+
+Realises the paper's simultaneous model on a concrete topology:
+
+1. build a BFS spanning tree rooted at the referee node (O(D) rounds);
+2. every node draws q samples and computes the calibrated collision-alarm
+   bit of :class:`~repro.core.testers.ThresholdRuleTester`;
+3. the alarm *count* is convergecast to the root (O(depth) rounds,
+   O(log k)-bit messages — the CONGEST footprint);
+4. the root applies the threshold rule and broadcasts the verdict.
+
+Statistically this is exactly the threshold-rule tester (the test suite
+asserts the equivalence bit-for-bit); what the network adds is the cost
+model: rounds ≈ BFS + 2·depth and per-edge messages of ⌈log₂(k+1)⌉ bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from ..core.players import CollisionBitPlayer
+from ..core.testers import ThresholdRuleTester
+from ..distributions.discrete import DiscreteDistribution
+from ..exceptions import InvalidParameterError
+from ..rng import RngLike, ensure_rng
+from .aggregation import broadcast_value, convergecast_sum
+from .spanning_tree import build_bfs_tree, tree_depth
+from .topology import validate_topology
+
+
+@dataclass
+class NetworkRunReport:
+    """One network execution with its distributed-cost accounting."""
+
+    accepted: bool
+    alarm_count: int
+    rounds: int
+    messages: int
+    max_message_bits: int
+    tree_depth: int
+    all_nodes_learned_verdict: bool
+
+
+class NetworkUniformityTester:
+    """Uniformity testing deployed on a network topology.
+
+    Parameters
+    ----------
+    graph:
+        Connected topology on nodes 0..k-1; node ``root`` hosts the
+        referee.  The number of players k is the node count.
+    n, epsilon:
+        Testing problem parameters.
+    q:
+        Samples per node (defaults to the threshold tester's optimum).
+    root:
+        Referee node id.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        n: int,
+        epsilon: float,
+        q: Optional[int] = None,
+        root: int = 0,
+        calibration_rng: RngLike = 0,
+    ):
+        validate_topology(graph)
+        self.graph = graph
+        self.k = graph.number_of_nodes()
+        if not 0 <= root < self.k:
+            raise InvalidParameterError(f"root {root} outside [0, {self.k})")
+        self.root = root
+        # Reuse the simultaneous tester's calibration wholesale: player
+        # threshold, referee threshold, and q default.
+        self._reference = ThresholdRuleTester(
+            n, epsilon, self.k, q=q, calibration_rng=calibration_rng
+        )
+        self.n = n
+        self.epsilon = epsilon
+        self.q = self._reference.q
+        self.reject_threshold = self._reference.reject_threshold
+        self._player = CollisionBitPlayer(
+            threshold=self._reference.player_collision_threshold
+        )
+        # The spanning tree is topology state, built once (rebuilding per
+        # execution only re-derives the same tree deterministically).
+        self.parents, self.levels, self._bfs_stats = build_bfs_tree(graph, root)
+
+    def local_alarms(
+        self, distribution: DiscreteDistribution, rng: RngLike = None
+    ) -> np.ndarray:
+        """Per-node alarm bits for one execution (1 = alarm/reject)."""
+        generator = ensure_rng(rng)
+        samples = distribution.sample_matrix(self.k, self.q, generator)
+        accept_bits = self._player.respond_batch(samples, generator)
+        return (1 - accept_bits).astype(np.int64)
+
+    def run(
+        self, distribution: DiscreteDistribution, rng: RngLike = None
+    ) -> NetworkRunReport:
+        """One full network execution with cost accounting."""
+        alarms = self.local_alarms(distribution, rng)
+        return self.decide_from_alarms(alarms)
+
+    def decide_from_alarms(self, alarms: np.ndarray) -> NetworkRunReport:
+        """Aggregate explicit alarm bits over the network (deterministic).
+
+        Split out from :meth:`run` so tests can verify bit-for-bit
+        equivalence with the simultaneous-model referee.
+        """
+        alarm_list = [int(bit) for bit in np.asarray(alarms, dtype=np.int64)]
+        if len(alarm_list) != self.k:
+            raise InvalidParameterError(
+                f"need {self.k} alarm bits, got {len(alarm_list)}"
+            )
+        total, up_stats = convergecast_sum(
+            self.graph, self.parents, alarm_list, self.levels
+        )
+        accepted = total < self.reject_threshold
+        verdicts, down_stats = broadcast_value(
+            self.graph, self.parents, int(accepted), self.levels
+        )
+        return NetworkRunReport(
+            accepted=accepted,
+            alarm_count=total,
+            rounds=self._bfs_stats.rounds + up_stats.rounds + down_stats.rounds,
+            messages=self._bfs_stats.messages
+            + up_stats.messages
+            + down_stats.messages,
+            max_message_bits=max(
+                self._bfs_stats.max_message_bits,
+                up_stats.max_message_bits,
+                down_stats.max_message_bits,
+            ),
+            tree_depth=tree_depth(self.levels),
+            all_nodes_learned_verdict=all(
+                verdict == int(accepted) for verdict in verdicts
+            ),
+        )
+
+    def acceptance_probability(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> float:
+        """Monte Carlo acceptance estimate (runs the full network)."""
+        if trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+        generator = ensure_rng(rng)
+        accepted = sum(self.run(distribution, generator).accepted for _ in range(trials))
+        return accepted / trials
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkUniformityTester(k={self.k}, n={self.n}, q={self.q}, "
+            f"depth={tree_depth(self.levels)})"
+        )

@@ -1,0 +1,14 @@
+"""Reductions between distribution-testing problems.
+
+The paper's introduction motivates uniformity testing as the *complete*
+problem for testing identity to any fixed known distribution [6, 11]:
+a randomized, sample-preserving transformation maps samples of an unknown
+μ to samples of a distribution that is uniform iff μ equals the target.
+:mod:`repro.reductions.identity` implements that reduction, which lets
+every distributed uniformity tester in :mod:`repro.core` test identity to
+arbitrary targets.
+"""
+
+from .identity import IdentityTestingReduction, IdentityTester
+
+__all__ = ["IdentityTestingReduction", "IdentityTester"]

@@ -1,0 +1,314 @@
+"""Empirical sample-complexity search.
+
+The paper's theorems are statements about q* — the least per-player sample
+count at which some tester succeeds with 2/3 confidence.  This module
+measures q* for *concrete* testers by Monte Carlo:
+
+1. evaluate ``success(q) = min(completeness, worst-case soundness)`` at a
+   given q (both sides estimated from ``trials`` protocol executions);
+2. exponentially grow q until success clears the target;
+3. binary-search the bracket down to the requested resolution.
+
+The same machinery searches over the number of players k (for the
+single-sample and learning experiments) via
+:func:`empirical_player_complexity`.
+
+Monte Carlo noise is handled by a success margin: the search asks for
+``target + margin`` so that a q declared sufficient is genuinely above
+target with high probability.  Results carry the full evaluation curve so
+benchmarks can report it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..distributions.discrete import DiscreteDistribution, uniform
+from ..distributions.families import PaninskiFamily
+from ..exceptions import InvalidParameterError, SearchDivergedError
+from ..rng import RngLike, ensure_rng
+
+#: A factory mapping a resource level (q or k) to a ready-to-run tester.
+TesterFactory = Callable[[int], "object"]
+
+
+@dataclass
+class SampleComplexityResult:
+    """Outcome of an empirical resource-complexity search."""
+
+    resource_star: int
+    target: float
+    curve: Dict[int, float] = field(default_factory=dict)
+    bracket_low: int = 0
+    bracket_high: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SampleComplexityResult(resource*={self.resource_star}, "
+            f"target={self.target:.3f}, evaluated={sorted(self.curve)})"
+        )
+
+
+def success_at(
+    tester,
+    far_distributions: Sequence[DiscreteDistribution],
+    trials: int,
+    rng: RngLike = None,
+) -> float:
+    """min(completeness, min-over-alternatives soundness) for one tester."""
+    if trials < 1:
+        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+    if not far_distributions:
+        raise InvalidParameterError("need at least one far distribution")
+    generator = ensure_rng(rng)
+    success = tester.acceptance_probability(uniform(tester.n), trials, generator)
+    for far in far_distributions:
+        success = min(success, 1.0 - tester.acceptance_probability(far, trials, generator))
+    return success
+
+
+def default_far_distributions(
+    n: int, epsilon: float, rng: RngLike = None, num_paninski: int = 2
+) -> List[DiscreteDistribution]:
+    """The default adversarial set: random Paninski members + two-level."""
+    from ..distributions.generators import two_level_distribution
+
+    generator = ensure_rng(rng)
+    family = PaninskiFamily(n if n % 2 == 0 else n - 1, epsilon)
+    members = [family.sample_distribution(generator) for _ in range(num_paninski)]
+    members.append(two_level_distribution(n if n % 2 == 0 else n - 1, epsilon))
+    return members
+
+
+def _search(
+    evaluate: Callable[[int], float],
+    target: float,
+    minimum: int,
+    maximum: int,
+    resolution_factor: float,
+) -> SampleComplexityResult:
+    """Exponential bracketing + binary search over an integer resource."""
+    curve: Dict[int, float] = {}
+
+    def cached(level: int) -> float:
+        if level not in curve:
+            curve[level] = evaluate(level)
+        return curve[level]
+
+    level = minimum
+    if cached(level) >= target:
+        return SampleComplexityResult(
+            resource_star=level,
+            target=target,
+            curve=curve,
+            bracket_low=level,
+            bracket_high=level,
+        )
+    # Exponential growth until success (or the cap).
+    low = level
+    high = level
+    while cached(high) < target:
+        low = high
+        high = min(maximum, max(high + 1, int(math.ceil(high * 2))))
+        if high == low:
+            raise SearchDivergedError(
+                f"resource search hit cap {maximum} without reaching "
+                f"target {target:.3f} (best {max(curve.values()):.3f})"
+            )
+    # Binary search down to the requested relative resolution.
+    while high > low + 1 and high > int(low * resolution_factor):
+        mid = (low + high) // 2
+        if cached(mid) >= target:
+            high = mid
+        else:
+            low = mid
+    return SampleComplexityResult(
+        resource_star=high,
+        target=target,
+        curve=curve,
+        bracket_low=low,
+        bracket_high=high,
+    )
+
+
+def empirical_sample_complexity(
+    tester_factory: TesterFactory,
+    n: int,
+    epsilon: float,
+    trials: int = 300,
+    target: float = 2.0 / 3.0,
+    margin: float = 0.04,
+    q_min: int = 2,
+    q_max: int = 1_000_000,
+    resolution_factor: float = 1.10,
+    far_distributions: Optional[Sequence[DiscreteDistribution]] = None,
+    rng: RngLike = None,
+) -> SampleComplexityResult:
+    """Least q at which ``tester_factory(q)`` clears the success target.
+
+    Parameters
+    ----------
+    tester_factory:
+        Maps a per-player sample count q to a tester exposing
+        ``acceptance_probability`` and ``n``.
+    margin:
+        Added to the 2/3 target to absorb Monte Carlo noise.
+    resolution_factor:
+        Stop refining once the bracket is within this multiplicative
+        factor (scaling experiments only need exponents, not exact q*).
+    """
+    generator = ensure_rng(rng)
+    alternatives = (
+        list(far_distributions)
+        if far_distributions is not None
+        else default_far_distributions(n, epsilon, generator)
+    )
+
+    def evaluate(q: int) -> float:
+        tester = tester_factory(q)
+        return success_at(tester, alternatives, trials, generator)
+
+    return _search(evaluate, target + margin, q_min, q_max, resolution_factor)
+
+
+def empirical_sample_complexity_sequential(
+    tester_factory: TesterFactory,
+    n: int,
+    epsilon: float,
+    target: float = 2.0 / 3.0,
+    margin: float = 0.05,
+    error_rate: float = 0.05,
+    q_min: int = 2,
+    q_max: int = 1_000_000,
+    resolution_factor: float = 1.10,
+    batch_size: int = 60,
+    max_trials_per_level: int = 4000,
+    far_distributions: Optional[Sequence[DiscreteDistribution]] = None,
+    rng: RngLike = None,
+) -> SampleComplexityResult:
+    """SPRT-accelerated variant of :func:`empirical_sample_complexity`.
+
+    Instead of a fixed Monte-Carlo budget per candidate q, each level is
+    classified above/below the target by Wald's sequential test
+    (:func:`repro.stats.sequential.sprt_batched`) on the success indicator
+    ``accept(uniform) ∧ reject(adversarial alternative)``, stopping as soon
+    as the evidence is decisive.  Easy levels (far from the target) resolve
+    in a few batches; only near-threshold levels pay the full budget.
+
+    The recorded curve holds the *empirical success rate over the trials
+    the SPRT actually used* at each level (coarser than the fixed-budget
+    variant's estimates, by design).
+    """
+    from .sequential import sprt_batched
+
+    generator = ensure_rng(rng)
+    alternatives = (
+        list(far_distributions)
+        if far_distributions is not None
+        else default_far_distributions(n, epsilon, generator)
+    )
+    curve: Dict[int, float] = {}
+
+    def classify(q: int) -> bool:
+        tester = tester_factory(q)
+        u = uniform(tester.n)
+
+        def batch_draw(count: int) -> int:
+            # One joint success indicator per trial: accept uniform AND
+            # reject a (rotating) adversarial alternative.
+            accept_uniform = tester.accept_batch(u, count, generator)
+            far = alternatives[int(generator.integers(0, len(alternatives)))]
+            reject_far = ~tester.accept_batch(far, count, generator)
+            return int((accept_uniform & reject_far).sum())
+
+        # Success of the joint event relates to the min of the two error
+        # sides; targeting (target)² on the joint event is the conservative
+        # product criterion.
+        joint_target = target * target + margin
+        result = sprt_batched(
+            batch_draw,
+            target=joint_target,
+            margin=margin,
+            error_rate=error_rate,
+            batch_size=batch_size,
+            max_trials=max_trials_per_level,
+        )
+        curve[q] = result.successes / result.trials_used
+        return result.decided_above
+
+    level = q_min
+    if classify_cached(level, curve, classify):
+        return SampleComplexityResult(
+            resource_star=level, target=target, curve=curve,
+            bracket_low=level, bracket_high=level,
+        )
+    low, high = level, level
+    while not classify_cached(high, curve, classify):
+        low = high
+        high = min(q_max, max(high + 1, int(math.ceil(high * 2))))
+        if high == low:
+            raise SearchDivergedError(
+                f"sequential search hit cap {q_max} without success"
+            )
+    while high > low + 1 and high > int(low * resolution_factor):
+        mid = (low + high) // 2
+        if classify_cached(mid, curve, classify):
+            high = mid
+        else:
+            low = mid
+    return SampleComplexityResult(
+        resource_star=high, target=target, curve=curve,
+        bracket_low=low, bracket_high=high,
+    )
+
+
+def classify_cached(level: int, curve: Dict[int, float], classify) -> bool:
+    """Classify a level once; repeat queries reuse the stored SPRT verdict.
+
+    The empirical rate lands in ``curve``; the boolean verdict (which is
+    what the search branches on) is memoised on the classifier itself so a
+    level is never re-tested.
+    """
+    cache = getattr(classify, "_verdicts", None)
+    if cache is None:
+        cache = {}
+        classify._verdicts = cache
+    if level not in cache:
+        cache[level] = classify(level)
+    return cache[level]
+
+
+def empirical_player_complexity(
+    tester_factory: TesterFactory,
+    n: int,
+    epsilon: float,
+    trials: int = 300,
+    target: float = 2.0 / 3.0,
+    margin: float = 0.04,
+    k_min: int = 2,
+    k_max: int = 10_000_000,
+    resolution_factor: float = 1.15,
+    far_distributions: Optional[Sequence[DiscreteDistribution]] = None,
+    rng: RngLike = None,
+    level_rounding: Optional[Callable[[int], int]] = None,
+) -> SampleComplexityResult:
+    """Least k at which ``tester_factory(k)`` clears the success target.
+
+    ``level_rounding`` lets callers snap k to a valid value (e.g. even k
+    for paired protocols) before the factory is invoked.
+    """
+    generator = ensure_rng(rng)
+    alternatives = (
+        list(far_distributions)
+        if far_distributions is not None
+        else default_far_distributions(n, epsilon, generator)
+    )
+    rounding = level_rounding if level_rounding is not None else (lambda k: k)
+
+    def evaluate(k: int) -> float:
+        tester = tester_factory(rounding(k))
+        return success_at(tester, alternatives, trials, generator)
+
+    return _search(evaluate, target + margin, k_min, k_max, resolution_factor)

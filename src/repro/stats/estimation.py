@@ -1,0 +1,82 @@
+"""Bernoulli probability estimation with honest uncertainty.
+
+Every empirical quantity in this library is ultimately an acceptance
+probability estimated from Monte Carlo trials; the Wilson score interval
+keeps the search procedures honest near 0 and 1 where the normal
+approximation fails.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from ..exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class BernoulliEstimate:
+    """A point estimate with a Wilson confidence interval."""
+
+    successes: int
+    trials: int
+    point: float
+    lower: float
+    upper: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.upper - self.lower) / 2.0
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the boundaries (0 successes or all successes), unlike
+    the Wald interval.
+    """
+    if trials < 1:
+        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise InvalidParameterError(
+            f"successes must be in [0, {trials}], got {successes}"
+        )
+    if z <= 0:
+        raise InvalidParameterError(f"z must be > 0, got {z}")
+    p_hat = successes / trials
+    denominator = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def estimate_probability(
+    bernoulli_sampler: Callable[[int], int], trials: int, z: float = 1.96
+) -> BernoulliEstimate:
+    """Run ``trials`` Bernoulli draws through a counting sampler.
+
+    ``bernoulli_sampler(trials)`` must return the number of successes out
+    of that many independent draws (letting callers vectorise internally).
+    """
+    if trials < 1:
+        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+    successes = int(bernoulli_sampler(trials))
+    if not 0 <= successes <= trials:
+        raise InvalidParameterError(
+            f"sampler returned {successes} successes out of {trials} trials"
+        )
+    lower, upper = wilson_interval(successes, trials, z)
+    return BernoulliEstimate(
+        successes=successes,
+        trials=trials,
+        point=successes / trials,
+        lower=lower,
+        upper=upper,
+    )

@@ -1,0 +1,136 @@
+"""Sequential (early-stopping) success-probability classification.
+
+The complexity searches ask one question per resource level: "is the
+success probability above or below the target?"  A fixed-trial estimate
+spends the same budget on easy calls (success 0.95 or 0.2) as on hard ones
+(success 0.68).  The sequential probability-ratio test stops as soon as
+the evidence is decisive, typically saving a large fraction of the trials
+on easy calls while controlling both error probabilities.
+
+This is Wald's SPRT for Bernoulli observations with the two simple
+hypotheses ``p = target - margin`` vs ``p = target + margin``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class SprtResult:
+    """Outcome of one sequential classification."""
+
+    decided_above: bool
+    trials_used: int
+    successes: int
+    log_likelihood_ratio: float
+
+
+def sprt_bernoulli(
+    draw: Callable[[], bool],
+    target: float,
+    margin: float = 0.05,
+    error_rate: float = 0.05,
+    max_trials: int = 10_000,
+) -> SprtResult:
+    """Classify a Bernoulli success rate as above/below ``target``.
+
+    Parameters
+    ----------
+    draw:
+        Callable producing one Bernoulli observation per call.
+    target, margin:
+        Tests ``p = target + margin`` against ``p = target - margin``.
+    error_rate:
+        Two-sided error probability bound (Wald's thresholds
+        ``log((1-β)/α)`` with α = β = error_rate).
+    max_trials:
+        Hard cap; on hitting it the sign of the likelihood ratio decides.
+    """
+    if not 0.0 < target < 1.0:
+        raise InvalidParameterError(f"target must be in (0,1), got {target}")
+    if not 0.0 < margin < min(target, 1.0 - target):
+        raise InvalidParameterError(
+            f"margin must be in (0, min(target, 1-target)), got {margin}"
+        )
+    if not 0.0 < error_rate < 0.5:
+        raise InvalidParameterError(
+            f"error_rate must be in (0, 0.5), got {error_rate}"
+        )
+    if max_trials < 1:
+        raise InvalidParameterError(f"max_trials must be >= 1, got {max_trials}")
+
+    high = target + margin
+    low = target - margin
+    # Per-observation log-likelihood increments.
+    success_step = math.log(high / low)
+    failure_step = math.log((1.0 - high) / (1.0 - low))
+    upper = math.log((1.0 - error_rate) / error_rate)
+    lower = -upper
+
+    log_ratio = 0.0
+    successes = 0
+    for trial in range(1, max_trials + 1):
+        if draw():
+            successes += 1
+            log_ratio += success_step
+        else:
+            log_ratio += failure_step
+        if log_ratio >= upper:
+            return SprtResult(True, trial, successes, log_ratio)
+        if log_ratio <= lower:
+            return SprtResult(False, trial, successes, log_ratio)
+    return SprtResult(log_ratio > 0.0, max_trials, successes, log_ratio)
+
+
+def sprt_batched(
+    batch_draw: Callable[[int], int],
+    target: float,
+    margin: float = 0.05,
+    error_rate: float = 0.05,
+    batch_size: int = 50,
+    max_trials: int = 10_000,
+) -> SprtResult:
+    """SPRT over vectorised Bernoulli batches.
+
+    ``batch_draw(count)`` returns the number of successes among ``count``
+    fresh observations — the natural interface for the vectorised testers.
+    Boundary crossing is checked after each batch (slightly conservative
+    but keeps the inner loop vectorised).
+    """
+    if batch_size < 1:
+        raise InvalidParameterError(f"batch_size must be >= 1, got {batch_size}")
+    if not 0.0 < target < 1.0:
+        raise InvalidParameterError(f"target must be in (0,1), got {target}")
+    if not 0.0 < margin < min(target, 1.0 - target):
+        raise InvalidParameterError(
+            f"margin must be in (0, min(target, 1-target)), got {margin}"
+        )
+    high = target + margin
+    low = target - margin
+    success_step = math.log(high / low)
+    failure_step = math.log((1.0 - high) / (1.0 - low))
+    upper = math.log((1.0 - error_rate) / error_rate)
+
+    log_ratio = 0.0
+    successes = 0
+    used = 0
+    while used < max_trials:
+        count = min(batch_size, max_trials - used)
+        wins = int(batch_draw(count))
+        if not 0 <= wins <= count:
+            raise InvalidParameterError(
+                f"batch_draw returned {wins} successes out of {count}"
+            )
+        successes += wins
+        used += count
+        log_ratio += wins * success_step + (count - wins) * failure_step
+        if log_ratio >= upper:
+            return SprtResult(True, used, successes, log_ratio)
+        if log_ratio <= -upper:
+            return SprtResult(False, used, successes, log_ratio)
+    return SprtResult(log_ratio > 0.0, used, successes, log_ratio)

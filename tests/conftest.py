@@ -1,0 +1,25 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import PaninskiFamily, uniform
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_family():
+    """A fully enumerable hard family (n=8, half=4, 16 members)."""
+    return PaninskiFamily(n=8, epsilon=0.5)
+
+
+@pytest.fixture
+def uniform_64():
+    return uniform(64)

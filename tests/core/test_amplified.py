@@ -1,0 +1,55 @@
+"""Tests for confidence amplification by repetition."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.testers import AmplifiedTester
+from repro.exceptions import InvalidParameterError
+
+
+class TestAmplifiedTester:
+    def test_rejects_even_or_nonpositive_repetitions(self):
+        base = repro.CentralizedCollisionTester(64, 0.5)
+        with pytest.raises(InvalidParameterError):
+            AmplifiedTester(base, 2)
+        with pytest.raises(InvalidParameterError):
+            AmplifiedTester(base, 0)
+
+    def test_resources_scale_with_repetitions(self):
+        base = repro.CentralizedCollisionTester(64, 0.5, q=32)
+        amplified = AmplifiedTester(base, 5)
+        assert amplified.resources.samples_per_player == 5 * 32
+        assert amplified.resources.num_players == 1
+
+    def test_one_repetition_matches_base_statistically(self):
+        base = repro.CentralizedCollisionTester(256, 0.5)
+        amplified = AmplifiedTester(base, 1)
+        far = repro.two_level_distribution(256, 0.5)
+        assert amplified.soundness(far, 300, rng=0) == pytest.approx(
+            base.soundness(far, 300, rng=0), abs=0.1
+        )
+
+    def test_amplification_reduces_error(self):
+        """Majority of 9 runs should beat a single run on both sides."""
+        n, eps = 256, 0.5
+        base = repro.CentralizedCollisionTester(n, eps, q=120)  # mediocre base
+        amplified = AmplifiedTester(base, 9)
+        far = repro.two_level_distribution(n, eps)
+        base_success = min(
+            base.completeness(300, rng=1), base.soundness(far, 300, rng=2)
+        )
+        amp_success = min(
+            amplified.completeness(300, rng=3), amplified.soundness(far, 300, rng=4)
+        )
+        assert amp_success > base_success
+
+    def test_amplified_distributed_tester(self):
+        base = repro.ThresholdRuleTester(256, 0.5, k=8)
+        amplified = AmplifiedTester(base, 3)
+        far = repro.two_level_distribution(256, 0.5)
+        assert amplified.soundness(far, 150, rng=5) >= 0.7
+
+    def test_in_public_namespace(self):
+        assert repro.AmplifiedTester is AmplifiedTester

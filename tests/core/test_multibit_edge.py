@@ -1,0 +1,45 @@
+"""Edge-case tests for the multibit tester's quantisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.multibit import MultibitThresholdTester, quantile_boundaries
+
+
+class TestDegenerateQuantisation:
+    def test_constant_counts_give_degenerate_levels(self):
+        boundaries = quantile_boundaries(np.zeros(1000, dtype=np.int64), 4)
+        levels = np.searchsorted(boundaries, np.zeros(10), side="right")
+        # All messages land in one level — legal, just uninformative.
+        assert len(set(levels.tolist())) == 1
+
+    def test_tiny_q_regime_still_valid(self):
+        """q = 2 on a large domain: collisions are almost always zero, the
+        quantiles collapse, and the tester must remain well-defined (it
+        simply cannot distinguish and leans on the referee midpoint)."""
+        tester = MultibitThresholdTester(4096, 0.5, k=8, message_bits=3, q=2)
+        accepts = tester.accept_batch(repro.uniform(4096), 20, rng=0)
+        assert accepts.shape == (20,)
+
+    def test_many_bits_saturate_to_exact_counts(self):
+        """With 2^r exceeding the collision-count spread, the quantised
+        statistic carries the full count: more bits change nothing."""
+        n, eps, k, q = 256, 0.5, 8, 32
+        eight = MultibitThresholdTester(n, eps, k, message_bits=8, q=q)
+        ten = MultibitThresholdTester(n, eps, k, message_bits=10, q=q)
+        far = repro.two_level_distribution(n, eps)
+        sound_eight = eight.soundness(far, 300, rng=1)
+        sound_ten = ten.soundness(far, 300, rng=1)
+        assert sound_ten == pytest.approx(sound_eight, abs=0.1)
+
+
+class TestLevelMonotonicity:
+    def test_levels_monotone_in_count(self, rng):
+        counts = rng.poisson(6.0, size=5000)
+        boundaries = quantile_boundaries(counts, 8)
+        ordered = np.sort(counts)
+        levels = np.searchsorted(boundaries, ordered, side="right")
+        assert (np.diff(levels) >= 0).all()

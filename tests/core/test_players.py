@@ -1,0 +1,215 @@
+"""Tests for player strategies and collision statistics."""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CollisionBitPlayer,
+    ConstantPlayer,
+    RandomBitPlayer,
+    SubsetMembershipPlayer,
+    UniqueElementsPlayer,
+    birthday_no_collision_probability,
+    calibrate_collision_threshold,
+    collision_counts,
+)
+from repro.core.players import (
+    DitheredCollisionBitPlayer,
+    calibrate_dithered_collision,
+    unique_counts,
+)
+from repro.distributions import point_mass, uniform
+from repro.exceptions import InvalidParameterError
+
+
+class TestCollisionCounts:
+    def test_no_collision(self):
+        assert collision_counts(np.array([[1, 2, 3]]))[0] == 0
+
+    def test_single_pair(self):
+        assert collision_counts(np.array([[1, 1, 3]]))[0] == 1
+
+    def test_triple_value(self):
+        # three equal samples → C(3,2) = 3 pairs
+        assert collision_counts(np.array([[7, 7, 7]]))[0] == 3
+
+    def test_two_runs(self):
+        assert collision_counts(np.array([[1, 1, 2, 2, 2]]))[0] == 1 + 3
+
+    def test_order_invariance(self, rng):
+        row = rng.integers(0, 5, size=12)
+        shuffled = rng.permutation(row)
+        assert collision_counts(row[np.newaxis, :])[0] == collision_counts(
+            shuffled[np.newaxis, :]
+        )[0]
+
+    def test_q_below_two(self):
+        assert collision_counts(np.array([[5]]))[0] == 0
+        assert collision_counts(np.empty((3, 0), dtype=np.int64)).tolist() == [0, 0, 0]
+
+    def test_1d_input(self):
+        assert collision_counts(np.array([2, 2]))[0] == 1
+
+    def test_matches_bincount_formula(self, rng):
+        samples = rng.integers(0, 6, size=(50, 8))
+        fast = collision_counts(samples)
+        for row_index in range(50):
+            counts = np.bincount(samples[row_index])
+            expected = sum(comb(int(c), 2) for c in counts)
+            assert fast[row_index] == expected
+
+
+class TestUniqueCounts:
+    def test_all_distinct(self):
+        assert unique_counts(np.array([[1, 2, 3]]))[0] == 3
+
+    def test_all_same(self):
+        assert unique_counts(np.array([[4, 4, 4]]))[0] == 1
+
+    def test_empty(self):
+        assert unique_counts(np.empty((2, 0), dtype=np.int64)).tolist() == [0, 0]
+
+
+class TestBirthdayFormula:
+    def test_exact_small_case(self):
+        # P(no collision, q=2) = 1 - 1/n
+        assert birthday_no_collision_probability(10, 2) == pytest.approx(0.9)
+
+    def test_q_exceeds_n(self):
+        assert birthday_no_collision_probability(4, 5) == 0.0
+
+    def test_q_zero_or_one(self):
+        assert birthday_no_collision_probability(10, 0) == 1.0
+        assert birthday_no_collision_probability(10, 1) == 1.0
+
+    def test_against_monte_carlo(self, rng):
+        n, q = 32, 8
+        counts = collision_counts(uniform(n).sample_matrix(20_000, q, rng))
+        empirical = float((counts == 0).mean())
+        assert empirical == pytest.approx(
+            birthday_no_collision_probability(n, q), abs=0.02
+        )
+
+
+class TestCollisionBitPlayer:
+    def test_accepts_when_below_threshold(self):
+        player = CollisionBitPlayer(threshold=0)
+        assert player.respond([1, 2, 3]) == 1
+        assert player.respond([1, 1, 3]) == 0
+
+    def test_fractional_threshold(self):
+        player = CollisionBitPlayer(threshold=1.5)
+        assert player.respond([1, 1, 3]) == 1   # 1 collision <= 1.5
+        assert player.respond([1, 1, 1]) == 0   # 3 collisions > 1.5
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            CollisionBitPlayer(threshold=-1)
+
+
+class TestDitheredPlayer:
+    def test_deterministic_extremes(self, rng):
+        samples = np.array([[1, 1, 3]])  # K = 1
+        never = DitheredCollisionBitPlayer(threshold=1, boundary_probability=0.0)
+        always = DitheredCollisionBitPlayer(threshold=1, boundary_probability=1.0)
+        assert never.respond_batch(samples, rng)[0] == 1
+        assert always.respond_batch(samples, rng)[0] == 0
+
+    def test_boundary_rate(self, rng):
+        samples = np.tile(np.array([[2, 2, 5]]), (4000, 1))  # K = 1 each row
+        player = DitheredCollisionBitPlayer(threshold=1, boundary_probability=0.3)
+        bits = player.respond_batch(samples, rng)
+        assert (1.0 - bits.mean()) == pytest.approx(0.3, abs=0.03)
+
+    def test_calibration_achieves_target(self, rng):
+        n, q, target = 64, 16, 0.2
+        t, gamma, achieved = calibrate_dithered_collision(n, q, target, trials=6000, rng=rng)
+        assert achieved == pytest.approx(target, abs=0.02)
+        player = DitheredCollisionBitPlayer(t, gamma)
+        bits = player.respond_batch(uniform(n).sample_matrix(6000, q, rng), rng)
+        assert (1.0 - bits.mean()) == pytest.approx(target, abs=0.03)
+
+
+class TestCalibration:
+    def test_exact_zero_threshold_when_possible(self):
+        # With tiny q the birthday tail is already below a generous target.
+        t, p = calibrate_collision_threshold(1024, 2, 0.5, rng=0)
+        assert t == 0
+        assert p == pytest.approx(1.0 / 1024)
+
+    def test_threshold_grows_as_target_shrinks(self):
+        t_loose, _ = calibrate_collision_threshold(64, 16, 0.5, rng=0)
+        t_tight, _ = calibrate_collision_threshold(64, 16, 0.01, rng=0)
+        assert t_tight >= t_loose
+
+    def test_achieved_rate_respects_target(self, rng):
+        n, q, target = 64, 16, 0.1
+        t, estimate = calibrate_collision_threshold(n, q, target, trials=4000, rng=0)
+        counts = collision_counts(uniform(n).sample_matrix(8000, q, rng))
+        actual = float((counts > t).mean())
+        assert actual <= target + 0.03
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(InvalidParameterError):
+            calibrate_collision_threshold(16, 4, 0.0)
+
+
+class TestSimplePlayers:
+    def test_constant(self):
+        assert ConstantPlayer(1).respond([1, 2]) == 1
+        assert ConstantPlayer(0).respond([1, 2]) == 0
+
+    def test_constant_rejects_non_bit(self):
+        with pytest.raises(InvalidParameterError):
+            ConstantPlayer(2)
+
+    def test_random_bias(self, rng):
+        player = RandomBitPlayer(bias=0.8)
+        bits = player.respond_batch(np.zeros((5000, 1), dtype=np.int64), rng)
+        assert bits.mean() == pytest.approx(0.8, abs=0.03)
+
+    def test_unique_elements(self):
+        player = UniqueElementsPlayer(min_unique=3)
+        assert player.respond([1, 2, 3]) == 1
+        assert player.respond([1, 1, 2]) == 0
+
+    def test_subset_membership_any_hit(self):
+        player = SubsetMembershipPlayer([1, 0, 0, 1])
+        assert player.respond([1, 2]) == 0
+        assert player.respond([1, 3]) == 1
+
+    def test_subset_membership_rejects_out_of_domain(self):
+        player = SubsetMembershipPlayer([1, 0])
+        with pytest.raises(InvalidParameterError):
+            player.respond([5])
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    q=st.integers(min_value=2, max_value=10),
+    n=st.integers(min_value=2, max_value=20),
+)
+@settings(max_examples=50, deadline=None)
+def test_collision_count_bounds_property(seed, q, n):
+    """0 <= K <= C(q,2), and K = C(q,2) iff all samples equal."""
+    rng = np.random.default_rng(seed)
+    samples = rng.integers(0, n, size=(20, q))
+    counts = collision_counts(samples)
+    assert (counts >= 0).all()
+    assert (counts <= comb(q, 2)).all()
+    all_equal = (samples == samples[:, :1]).all(axis=1)
+    assert ((counts == comb(q, 2)) == all_equal).all()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_point_mass_always_collides(seed):
+    player = CollisionBitPlayer(threshold=0)
+    samples = point_mass(8, 3).sample_matrix(10, 4, seed)
+    assert (player.respond_batch(samples) == 0).all()

@@ -1,0 +1,151 @@
+"""Tests for referee decision rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AndRule,
+    MajorityRule,
+    OrRule,
+    ThresholdRule,
+    TruthTableRule,
+    WeightedCountRule,
+)
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+
+bit_vectors = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=10)
+
+
+class TestAndRule:
+    def test_all_ones_accepts(self):
+        assert AndRule().decide([1, 1, 1])
+
+    def test_single_zero_rejects(self):
+        assert not AndRule().decide([1, 0, 1])
+
+    def test_batch(self):
+        decisions = AndRule().decide_batch(np.array([[1, 1], [1, 0], [0, 0]]))
+        assert decisions.tolist() == [True, False, False]
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(InvalidParameterError):
+            AndRule().decide([1, 2])
+
+    def test_fixed_width_enforced(self):
+        rule = AndRule(num_players=3)
+        with pytest.raises(DimensionMismatchError):
+            rule.decide([1, 1])
+
+
+class TestOrRule:
+    def test_any_one_accepts(self):
+        assert OrRule().decide([0, 1, 0])
+
+    def test_all_zero_rejects(self):
+        assert not OrRule().decide([0, 0, 0])
+
+
+class TestThresholdRule:
+    def test_t_equals_one_is_and(self):
+        rule = ThresholdRule(reject_threshold=1)
+        for bits in ([1, 1, 1], [1, 0, 1], [0, 0, 0]):
+            assert rule.decide(bits) == AndRule().decide(bits)
+
+    def test_reject_at_threshold(self):
+        rule = ThresholdRule(reject_threshold=2)
+        assert rule.decide([0, 1, 1])      # 1 reject < 2
+        assert not rule.decide([0, 0, 1])  # 2 rejects >= 2
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            ThresholdRule(0)
+
+    def test_name_includes_threshold(self):
+        assert "T=3" in ThresholdRule(3).name
+
+
+class TestMajorityRule:
+    def test_strict_majority(self):
+        rule = MajorityRule()
+        assert rule.decide([1, 1, 0])
+        assert not rule.decide([1, 0])  # tie is not strict majority
+        assert not rule.decide([1, 0, 0])
+
+
+class TestWeightedCountRule:
+    def test_weighted_decision(self):
+        rule = WeightedCountRule([2.0, 1.0], threshold=2.0)
+        assert rule.decide([1, 0])
+        assert not rule.decide([0, 1])
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(InvalidParameterError):
+            WeightedCountRule([], threshold=1.0)
+
+    def test_width_comes_from_weights(self):
+        rule = WeightedCountRule([1.0, 1.0, 1.0], threshold=1.0)
+        with pytest.raises(DimensionMismatchError):
+            rule.decide([1, 1])
+
+
+class TestTruthTableRule:
+    def test_arbitrary_function(self):
+        # XOR of two bits: table index = b0 + 2*b1.
+        rule = TruthTableRule([0, 1, 1, 0])
+        assert not rule.decide([0, 0])
+        assert rule.decide([1, 0])
+        assert rule.decide([0, 1])
+        assert not rule.decide([1, 1])
+
+    def test_from_callable(self):
+        rule = TruthTableRule.from_callable(3, lambda bits: int(bits.sum() == 2))
+        assert rule.decide([1, 1, 0])
+        assert not rule.decide([1, 1, 1])
+
+    def test_rejects_bad_table_length(self):
+        with pytest.raises(InvalidParameterError):
+            TruthTableRule([0, 1, 1])
+
+    def test_rejects_non_boolean_entries(self):
+        with pytest.raises(InvalidParameterError):
+            TruthTableRule([0, 2])
+
+
+@given(bits=bit_vectors)
+@settings(max_examples=60, deadline=None)
+def test_and_is_threshold_one(bits):
+    assert AndRule().decide(bits) == ThresholdRule(1).decide(bits)
+
+
+@given(bits=bit_vectors)
+@settings(max_examples=60, deadline=None)
+def test_or_is_threshold_k(bits):
+    """OR accepts unless everyone rejects: T = k."""
+    assert OrRule().decide(bits) == ThresholdRule(len(bits)).decide(bits)
+
+
+@given(bits=bit_vectors)
+@settings(max_examples=60, deadline=None)
+def test_threshold_monotone_in_t(bits):
+    """Raising T can only flip reject → accept."""
+    k = len(bits)
+    decisions = [ThresholdRule(t).decide(bits) for t in range(1, k + 2)]
+    assert all(not a or b for a, b in zip(decisions, decisions[1:]))
+
+
+@given(bits=bit_vectors, seed=st.integers(min_value=0, max_value=999))
+@settings(max_examples=60, deadline=None)
+def test_truth_table_can_realize_threshold(bits, seed):
+    """TruthTableRule subsumes ThresholdRule (the 'any rule' model)."""
+    k = len(bits)
+    rng = np.random.default_rng(seed)
+    t = int(rng.integers(1, k + 1))
+    reference = ThresholdRule(t)
+    table = TruthTableRule.from_callable(
+        k, lambda b: int((len(b) - b.sum()) < t)
+    )
+    assert table.decide(bits) == reference.decide(bits)

@@ -1,0 +1,220 @@
+"""Unit and property tests for DiscreteDistribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import DiscreteDistribution, point_mass, uniform
+from repro.exceptions import (
+    DimensionMismatchError,
+    InvalidDistributionError,
+    InvalidParameterError,
+)
+
+
+class TestConstruction:
+    def test_valid_pmf(self):
+        dist = DiscreteDistribution([0.5, 0.25, 0.25])
+        assert dist.n == 3
+        assert dist.probability(0) == pytest.approx(0.5)
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution([0.5, -0.1, 0.6])
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution([0.5, 0.25])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution([0.5, float("nan"), 0.5])
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution([[0.5, 0.5]])
+
+    def test_normalize_rescales(self):
+        dist = DiscreteDistribution([2.0, 2.0], normalize=True)
+        assert dist.probability(0) == pytest.approx(0.5)
+
+    def test_normalize_rejects_zero_vector(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteDistribution([0.0, 0.0], normalize=True)
+
+    def test_pmf_is_read_only(self):
+        dist = uniform(4)
+        with pytest.raises(ValueError):
+            dist.pmf[0] = 0.9
+
+    def test_uniform_factory(self):
+        dist = uniform(10)
+        assert dist.is_uniform()
+        assert dist.n == 10
+
+    def test_uniform_rejects_nonpositive_n(self):
+        with pytest.raises(InvalidParameterError):
+            uniform(0)
+
+    def test_point_mass(self):
+        dist = point_mass(5, 3)
+        assert dist.probability(3) == 1.0
+        assert dist.support().tolist() == [3]
+
+    def test_point_mass_rejects_bad_outcome(self):
+        with pytest.raises(InvalidParameterError):
+            point_mass(5, 5)
+
+
+class TestMoments:
+    def test_l2_norm_squared_uniform_is_minimal(self):
+        assert uniform(8).l2_norm_squared() == pytest.approx(1.0 / 8)
+
+    def test_l2_norm_squared_point_mass_is_one(self):
+        assert point_mass(8, 0).l2_norm_squared() == pytest.approx(1.0)
+
+    def test_entropy_uniform(self):
+        assert uniform(8).entropy() == pytest.approx(3.0)
+
+    def test_entropy_point_mass(self):
+        assert point_mass(8, 2).entropy() == pytest.approx(0.0)
+
+    def test_min_entropy(self):
+        assert uniform(16).min_entropy() == pytest.approx(4.0)
+
+    def test_expectation(self):
+        dist = DiscreteDistribution([0.5, 0.5])
+        assert dist.expectation([0.0, 10.0]) == pytest.approx(5.0)
+
+    def test_expectation_rejects_wrong_shape(self):
+        with pytest.raises(DimensionMismatchError):
+            uniform(3).expectation([1.0, 2.0])
+
+
+class TestSampling:
+    def test_sample_shape_and_dtype(self, rng):
+        samples = uniform(8).sample(100, rng)
+        assert samples.shape == (100,)
+        assert samples.dtype == np.int64
+
+    def test_sample_range(self, rng):
+        samples = uniform(8).sample(1000, rng)
+        assert samples.min() >= 0
+        assert samples.max() < 8
+
+    def test_sample_zero(self):
+        assert uniform(8).sample(0).shape == (0,)
+
+    def test_sample_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            uniform(8).sample(-1)
+
+    def test_sample_respects_point_mass(self, rng):
+        samples = point_mass(8, 5).sample(50, rng)
+        assert (samples == 5).all()
+
+    def test_sample_matrix_shape(self, rng):
+        matrix = uniform(8).sample_matrix(10, 7, rng)
+        assert matrix.shape == (10, 7)
+
+    def test_sampling_is_deterministic_given_seed(self):
+        a = uniform(32).sample(20, 7)
+        b = uniform(32).sample(20, 7)
+        assert np.array_equal(a, b)
+
+    def test_empirical_frequencies_converge(self, rng):
+        dist = DiscreteDistribution([0.7, 0.2, 0.1])
+        samples = dist.sample(40_000, rng)
+        freq = np.bincount(samples, minlength=3) / 40_000
+        assert np.allclose(freq, dist.pmf, atol=0.02)
+
+
+class TestArithmetic:
+    def test_mix_midpoint(self):
+        mixed = point_mass(2, 0).mix(point_mass(2, 1), weight=0.5)
+        assert mixed.pmf.tolist() == [0.5, 0.5]
+
+    def test_mix_rejects_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            uniform(2).mix(uniform(3))
+
+    def test_mix_rejects_bad_weight(self):
+        with pytest.raises(InvalidParameterError):
+            uniform(2).mix(uniform(2), weight=1.5)
+
+    def test_permute(self):
+        dist = DiscreteDistribution([0.6, 0.3, 0.1])
+        permuted = dist.permute([2, 0, 1])
+        assert permuted.probability(2) == pytest.approx(0.6)
+        assert permuted.probability(0) == pytest.approx(0.3)
+
+    def test_permute_rejects_non_permutation(self):
+        with pytest.raises(InvalidParameterError):
+            uniform(3).permute([0, 0, 1])
+
+    def test_condition_on(self):
+        dist = DiscreteDistribution([0.5, 0.25, 0.25])
+        conditioned = dist.condition_on([1, 2])
+        assert conditioned.probability(1) == pytest.approx(0.5)
+        assert conditioned.probability(0) == 0.0
+
+    def test_condition_on_zero_mass_event(self):
+        with pytest.raises(InvalidDistributionError):
+            point_mass(3, 0).condition_on([1, 2])
+
+    def test_tensor_power_uniform(self):
+        squared = uniform(3).tensor_power(2)
+        assert squared.n == 9
+        assert squared.is_uniform()
+
+    def test_tensor_power_encoding_order(self):
+        dist = DiscreteDistribution([0.9, 0.1])
+        squared = dist.tensor_power(2)
+        # index = 2*e1 + e2 with e1 most significant
+        assert squared.probability(0) == pytest.approx(0.81)
+        assert squared.probability(1) == pytest.approx(0.09)
+        assert squared.probability(2) == pytest.approx(0.09)
+        assert squared.probability(3) == pytest.approx(0.01)
+
+    def test_equality_and_hash(self):
+        assert uniform(4) == uniform(4)
+        assert hash(uniform(4)) == hash(uniform(4))
+        assert uniform(4) != uniform(5)
+
+
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=32
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_normalized_pmf_always_valid(weights):
+    """Any positive weight vector normalises to a valid distribution."""
+    dist = DiscreteDistribution(weights, normalize=True)
+    assert dist.pmf.sum() == pytest.approx(1.0)
+    assert (dist.pmf >= 0).all()
+
+
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=16
+    ),
+    q=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_tensor_power_preserves_l2_structure(weights, q):
+    """||p^q||₂² = (||p||₂²)^q — products multiply collision probabilities."""
+    dist = DiscreteDistribution(weights, normalize=True)
+    if dist.n**q > 5000:
+        return
+    power = dist.tensor_power(q)
+    assert power.l2_norm_squared() == pytest.approx(
+        dist.l2_norm_squared() ** q, rel=1e-9
+    )

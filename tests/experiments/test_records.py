@@ -1,0 +1,55 @@
+"""Tests for experiment records and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import ExperimentResult
+from repro.experiments.records import render_table
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        result = ExperimentResult("e99", "demo")
+        result.add_row(n=16, q_star=4)
+        result.add_row(n=32, q_star=8)
+        assert result.column("n") == [16, 32]
+        assert result.column("q_star") == [4, 8]
+
+    def test_column_missing_raises(self):
+        result = ExperimentResult("e99", "demo")
+        result.add_row(n=16)
+        with pytest.raises(InvalidParameterError):
+            result.column("missing")
+
+    def test_render_contains_everything(self):
+        result = ExperimentResult("e99", "demo experiment")
+        result.add_row(n=16, value=3.14159)
+        result.summary["fit"] = 0.5
+        result.notes.append("a caveat")
+        text = result.render()
+        assert "E99" in text
+        assert "demo experiment" in text
+        assert "3.142" in text
+        assert "fit: 0.5" in text
+        assert "a caveat" in text
+
+    def test_render_empty(self):
+        result = ExperimentResult("e99", "empty")
+        assert "E99" in result.render()
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_alignment(self):
+        text = render_table([{"a": 1, "b": "xy"}, {"a": 100, "b": "z"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_heterogeneous_rows(self):
+        text = render_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text

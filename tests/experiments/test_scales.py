@@ -1,0 +1,52 @@
+"""Every experiment must expose consistent small/paper scale configs."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, experiment_ids
+
+MODULES = {
+    "e01": "repro.experiments.e01_any_rule",
+    "e02": "repro.experiments.e02_and_rule",
+    "e03": "repro.experiments.e03_threshold_T",
+    "e04": "repro.experiments.e04_learning",
+    "e05": "repro.experiments.e05_lemma42",
+    "e06": "repro.experiments.e06_lemma43",
+    "e07": "repro.experiments.e07_centralized",
+    "e08": "repro.experiments.e08_single_sample",
+    "e09": "repro.experiments.e09_asymmetric",
+    "e10": "repro.experiments.e10_combinatorics",
+    "e11": "repro.experiments.e11_kkl",
+    "e12": "repro.experiments.e12_divergence",
+    "e13": "repro.experiments.e13_identity",
+    "e14": "repro.experiments.e14_statistics",
+    "e15": "repro.experiments.e15_hard_family",
+    "e16": "repro.experiments.e16_multibit",
+    "e17": "repro.experiments.e17_network",
+    "e18": "repro.experiments.e18_generalizations",
+    "e19": "repro.experiments.e19_fault_tolerance",
+}
+
+
+def test_module_map_matches_registry():
+    assert sorted(MODULES) == experiment_ids()
+
+
+@pytest.mark.parametrize("experiment_id", sorted(MODULES))
+def test_scales_present_and_consistent(experiment_id):
+    module = importlib.import_module(MODULES[experiment_id])
+    scales = module.SCALES
+    assert set(scales) == {"small", "paper"}
+    # Scale configs must share their parameter schema.
+    assert set(scales["small"]) == set(scales["paper"])
+
+
+@pytest.mark.parametrize("experiment_id", sorted(MODULES))
+def test_run_signature(experiment_id):
+    import inspect
+
+    signature = inspect.signature(EXPERIMENTS[experiment_id])
+    assert list(signature.parameters) == ["scale", "seed"]

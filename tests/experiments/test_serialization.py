@@ -1,0 +1,53 @@
+"""Tests for ExperimentResult JSON round-tripping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments import ExperimentResult
+
+
+class TestJsonRoundTrip:
+    def test_basic_round_trip(self):
+        result = ExperimentResult("e01", "demo")
+        result.add_row(n=16, q_star=4, ratio=0.5)
+        result.summary["exponent"] = -0.5
+        result.notes.append("a note")
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.experiment_id == "e01"
+        assert restored.title == "demo"
+        assert restored.rows == result.rows
+        assert restored.summary == result.summary
+        assert restored.notes == result.notes
+
+    def test_numpy_scalars_coerced(self):
+        result = ExperimentResult("e02", "numpy types")
+        result.add_row(
+            count=np.int64(7),
+            value=np.float64(1.5),
+            flag=np.bool_(True),
+            vector=np.array([1.0, 2.0]),
+        )
+        restored = ExperimentResult.from_json(result.to_json())
+        row = restored.rows[0]
+        assert row["count"] == 7
+        assert row["value"] == 1.5
+        assert row["flag"] is True
+        assert row["vector"] == [1.0, 2.0]
+
+    def test_live_experiment_serializes(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("e10", scale="small")
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.summary == ExperimentResult.from_json(result.to_json()).summary
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ExperimentResult.from_json("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ExperimentResult.from_json('{"title": "no id"}')

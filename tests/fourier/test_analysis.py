@@ -1,0 +1,140 @@
+"""Tests for spectral statistics (Facts 2.1/2.2) and characters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.fourier import BooleanFunction
+from repro.fourier.analysis import (
+    influences,
+    level_weight,
+    noise_stability,
+    spectral_mean,
+    spectral_variance,
+    total_influence,
+    weight_up_to_level,
+)
+from repro.fourier.characters import (
+    all_subsets,
+    character_value,
+    character_vector,
+    masks_by_level,
+    popcounts,
+    subset_size,
+    subsets_of_size,
+)
+
+
+class TestCharacters:
+    def test_subset_size(self):
+        assert subset_size(0) == 0
+        assert subset_size(0b1011) == 3
+
+    def test_subsets_of_size_counts(self):
+        from math import comb
+
+        for m in range(1, 7):
+            for size in range(m + 1):
+                masks = list(subsets_of_size(m, size))
+                assert len(masks) == comb(m, size)
+                assert all(subset_size(mask) == size for mask in masks)
+
+    def test_subsets_of_size_empty_cases(self):
+        assert list(subsets_of_size(3, 4)) == []
+        assert list(subsets_of_size(3, 0)) == [0]
+
+    def test_character_value_sign(self):
+        # S = {0}, point with bit0 set means x_0 = -1.
+        assert character_value(1, 1) == -1
+        assert character_value(1, 0) == 1
+        # |S ∩ point| = 2 → +1
+        assert character_value(0b11, 0b11) == 1
+
+    def test_character_vector_orthonormal(self):
+        m = 4
+        vectors = [character_vector(m, mask) for mask in range(2**m)]
+        for i, u in enumerate(vectors):
+            for j, v in enumerate(vectors):
+                inner = float(np.dot(u, v)) / 2**m
+                assert inner == pytest.approx(1.0 if i == j else 0.0)
+
+    def test_masks_by_level_partition(self):
+        buckets = masks_by_level(4)
+        total = sum(len(bucket) for bucket in buckets)
+        assert total == 16
+
+    def test_popcounts(self):
+        assert popcounts(8).tolist() == [0, 1, 1, 2, 1, 2, 2, 3]
+
+    def test_all_subsets(self):
+        assert list(all_subsets(2)) == [0, 1, 2, 3]
+
+
+class TestSpectralStats:
+    def test_mean_and_variance_match_direct(self, rng):
+        func = BooleanFunction(rng.random(32))
+        table = func.table
+        assert spectral_mean(func) == pytest.approx(table.mean())
+        assert spectral_variance(func) == pytest.approx(table.var())
+
+    def test_level_weights_sum_to_energy(self, rng):
+        func = BooleanFunction(rng.random(16))
+        total = sum(level_weight(func, r) for r in range(func.m + 1))
+        assert total == pytest.approx(np.mean(func.table**2))
+
+    def test_weight_up_to_level_monotone(self, rng):
+        func = BooleanFunction(rng.random(16))
+        weights = [weight_up_to_level(func, r) for r in range(func.m + 1)]
+        assert all(b >= a - 1e-12 for a, b in zip(weights, weights[1:]))
+
+    def test_weight_excluding_empty(self):
+        func = BooleanFunction([1.0] * 8)
+        assert weight_up_to_level(func, 3, include_empty=False) == pytest.approx(0.0)
+
+    def test_level_weight_rejects_bad_level(self):
+        func = BooleanFunction([1.0, 0.0])
+        with pytest.raises(InvalidParameterError):
+            level_weight(func, 2)
+
+    def test_dictator_influences(self):
+        func = BooleanFunction.dictator(3, 1)
+        inf = influences(func)
+        assert inf[1] == pytest.approx(1.0)
+        assert inf[0] == pytest.approx(0.0)
+        assert inf[2] == pytest.approx(0.0)
+
+    def test_parity_total_influence(self):
+        # χ_[m] has total influence m.
+        func = BooleanFunction.parity(4, 0b1111)
+        assert total_influence(func) == pytest.approx(4.0)
+
+    def test_noise_stability_extremes(self, rng):
+        func = BooleanFunction(rng.random(16))
+        assert noise_stability(func, 1.0) == pytest.approx(np.mean(func.table**2))
+        assert noise_stability(func, 0.0) == pytest.approx(func.table.mean() ** 2)
+
+    def test_noise_stability_rejects_bad_rho(self):
+        with pytest.raises(InvalidParameterError):
+            noise_stability(BooleanFunction([1.0, 0.0]), 1.5)
+
+
+@given(seed=st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_fact_2_2_property(seed):
+    """Fact 2.2: μ(f) = f̂(∅) and var(f) = Σ_{S≠∅} f̂(S)²."""
+    rng = np.random.default_rng(seed)
+    func = BooleanFunction((rng.random(32) < rng.random()).astype(float))
+    assert spectral_mean(func) == pytest.approx(func.table.mean())
+    assert spectral_variance(func) == pytest.approx(func.table.var(), abs=1e-12)
+
+
+@given(seed=st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=30, deadline=None)
+def test_influence_sum_equals_total(seed):
+    rng = np.random.default_rng(seed)
+    func = BooleanFunction(rng.random(16))
+    assert influences(func).sum() == pytest.approx(total_influence(func))

@@ -1,0 +1,70 @@
+"""Tests for the KKL level inequality (Lemma 5.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.fourier import BooleanFunction
+from repro.fourier.level_inequalities import check_kkl_inequality, kkl_level_bound
+
+
+class TestBoundFormula:
+    def test_zero_mean(self):
+        assert kkl_level_bound(0.0, 3, 0.5) == 0.0
+
+    def test_monotone_in_mean(self):
+        assert kkl_level_bound(0.1, 2, 0.5) < kkl_level_bound(0.3, 2, 0.5)
+
+    def test_rejects_mean_above_half(self):
+        with pytest.raises(InvalidParameterError):
+            kkl_level_bound(0.6, 1, 0.5)
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(InvalidParameterError):
+            kkl_level_bound(0.2, 1, 0.0)
+
+
+class TestChecker:
+    def test_requires_boolean_values(self):
+        with pytest.raises(InvalidParameterError):
+            check_kkl_inequality(BooleanFunction([0.5, 0.5]), 1, 0.5)
+
+    def test_and_function_holds(self):
+        # AND of m bits: mean 2^-m, weight concentrated but tiny.
+        points = np.arange(2**6)
+        bits = ((points[:, None] >> np.arange(6)) & 1).astype(bool)
+        func = BooleanFunction((~bits).all(axis=1).astype(float))
+        for level in (1, 2, 3):
+            for delta in (0.2, 0.5, 1.0):
+                assert check_kkl_inequality(func, level, delta).holds
+
+    def test_high_mean_function_uses_complement(self):
+        func = BooleanFunction(np.ones(8))
+        check = check_kkl_inequality(func, 1, 0.5)
+        assert check.mean == pytest.approx(0.0)
+        assert check.holds
+
+    @pytest.mark.parametrize("bias", [0.02, 0.1, 0.3, 0.5, 0.8, 0.98])
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_random_functions_never_violate(self, bias, level, rng):
+        for _ in range(5):
+            func = BooleanFunction.random_boolean(7, bias, rng)
+            check = check_kkl_inequality(func, level, 1.0 / 3.0)
+            assert check.holds, (bias, level, check)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    bias=st.floats(min_value=0.01, max_value=0.99),
+    level=st.integers(min_value=1, max_value=4),
+    delta=st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_kkl_never_violated_property(seed, bias, level, delta):
+    """Property: Lemma 5.4 holds for arbitrary random boolean functions."""
+    func = BooleanFunction.random_boolean(6, bias, np.random.default_rng(seed))
+    assert check_kkl_inequality(func, level, delta).holds

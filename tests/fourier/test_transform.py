@@ -1,0 +1,142 @@
+"""Tests for the Walsh–Hadamard transform and BooleanFunction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionMismatchError, InvalidParameterError
+from repro.fourier import (
+    BooleanFunction,
+    inverse_walsh_hadamard_transform,
+    walsh_hadamard_transform,
+)
+from repro.fourier.characters import character_value
+
+
+class TestTransform:
+    def test_constant_function_spectrum(self):
+        coeffs = walsh_hadamard_transform([1.0, 1.0, 1.0, 1.0])
+        assert coeffs[0] == pytest.approx(1.0)
+        assert np.allclose(coeffs[1:], 0.0)
+
+    def test_dictator_spectrum(self):
+        # f(x) = x_0 has its whole weight on S = {0} (mask 1)
+        func = BooleanFunction.dictator(3, 0)
+        coeffs = func.coefficients
+        assert coeffs[1] == pytest.approx(1.0)
+        live = np.flatnonzero(np.abs(coeffs) > 1e-12)
+        assert live.tolist() == [1]
+
+    def test_parity_spectrum(self):
+        func = BooleanFunction.parity(3, 0b101)
+        coeffs = func.coefficients
+        assert coeffs[0b101] == pytest.approx(1.0)
+        assert np.abs(coeffs).sum() == pytest.approx(1.0)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(InvalidParameterError):
+            walsh_hadamard_transform([1.0, 2.0, 3.0])
+
+    def test_inverse_round_trip(self, rng):
+        table = rng.random(16)
+        recovered = inverse_walsh_hadamard_transform(walsh_hadamard_transform(table))
+        assert np.allclose(recovered, table)
+
+    def test_coefficient_definition(self, rng):
+        """f̂(S) = E_x[f(x)·χ_S(x)] — check against the direct sum."""
+        table = rng.random(8)
+        coeffs = walsh_hadamard_transform(table)
+        for mask in range(8):
+            direct = np.mean(
+                [table[i] * character_value(mask, i) for i in range(8)]
+            )
+            assert coeffs[mask] == pytest.approx(direct)
+
+
+class TestBooleanFunction:
+    def test_from_callable_matches_encoding(self):
+        func = BooleanFunction.from_callable(2, lambda x: float(x[0] == -1))
+        # bit 0 of index set => x_0 = -1
+        assert func(0) == 0.0
+        assert func(1) == 1.0
+        assert func(2) == 0.0
+        assert func(3) == 1.0
+
+    def test_evaluate_vector(self):
+        func = BooleanFunction.dictator(3, 1)
+        assert func.evaluate_vector([1, 1, 1]) == 1.0
+        assert func.evaluate_vector([1, -1, 1]) == -1.0
+
+    def test_evaluate_vector_rejects_bad_input(self):
+        func = BooleanFunction.dictator(2, 0)
+        with pytest.raises(DimensionMismatchError):
+            func.evaluate_vector([1])
+        with pytest.raises(InvalidParameterError):
+            func.evaluate_vector([1, 0])
+
+    def test_random_boolean_bias(self, rng):
+        func = BooleanFunction.random_boolean(10, bias=0.9, rng=rng)
+        assert func.table.mean() == pytest.approx(0.9, abs=0.05)
+
+    def test_restrict_prefix(self):
+        # g(x0, x1) with x0 restricted: the restriction over the low bit.
+        table = np.array([0.0, 1.0, 2.0, 3.0])
+        func = BooleanFunction(table)
+        fixed0 = func.restrict_prefix(0, 1)
+        fixed1 = func.restrict_prefix(1, 1)
+        assert fixed0.table.tolist() == [0.0, 2.0]
+        assert fixed1.table.tolist() == [1.0, 3.0]
+
+    def test_negate(self):
+        func = BooleanFunction([0.0, 1.0])
+        assert func.negate().table.tolist() == [1.0, 0.0]
+
+    def test_equality_and_hash(self):
+        a = BooleanFunction([0.0, 1.0])
+        b = BooleanFunction([0.0, 1.0])
+        assert a == b and hash(a) == hash(b)
+
+    def test_table_read_only(self):
+        func = BooleanFunction([0.0, 1.0])
+        with pytest.raises(ValueError):
+            func.table[0] = 5.0
+
+
+@given(
+    table=st.lists(st.floats(min_value=-4, max_value=4), min_size=8, max_size=8)
+)
+@settings(max_examples=60, deadline=None)
+def test_parseval(table):
+    """Plancherel: E[f²] = Σ_S f̂(S)² (Fact 2.1)."""
+    arr = np.asarray(table)
+    coeffs = walsh_hadamard_transform(arr)
+    assert np.dot(coeffs, coeffs) == pytest.approx(np.mean(arr * arr), abs=1e-9)
+
+
+@given(
+    table_f=st.lists(st.floats(min_value=-2, max_value=2), min_size=8, max_size=8),
+    table_g=st.lists(st.floats(min_value=-2, max_value=2), min_size=8, max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_plancherel_inner_product(table_f, table_g):
+    """⟨f,g⟩ = Σ_S f̂(S)ĝ(S)."""
+    from repro.fourier.analysis import direct_inner_product, plancherel_inner_product
+
+    f = BooleanFunction(table_f)
+    g = BooleanFunction(table_g)
+    assert plancherel_inner_product(f, g) == pytest.approx(
+        direct_inner_product(f, g), abs=1e-9
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_wht_linearity(seed):
+    rng = np.random.default_rng(seed)
+    a, b = rng.random(16), rng.random(16)
+    combined = walsh_hadamard_transform(2.0 * a + 3.0 * b)
+    separate = 2.0 * walsh_hadamard_transform(a) + 3.0 * walsh_hadamard_transform(b)
+    assert np.allclose(combined, separate)

@@ -1,0 +1,65 @@
+"""Tests for the asymmetric-error divergence refinement (§6.2 remark)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.lowerbounds.divergence import (
+    asymmetric_q_lower_bound,
+    asymmetric_required_divergence,
+    required_divergence,
+)
+
+
+class TestAsymmetricRequirement:
+    def test_reduces_to_symmetric_scale(self):
+        """At δ₁ = δ₀ = δ the requirement is comparable to log(1/δ)."""
+        symmetric = required_divergence(1.0 / 3.0)
+        asymmetric = asymmetric_required_divergence(1.0 / 3.0, 1.0 / 3.0)
+        assert asymmetric == pytest.approx(symmetric, rel=1.0)
+
+    def test_blows_up_for_highly_biased_testers(self):
+        """δ₁ → 0 (never reject uniform) needs ever more divergence."""
+        values = [
+            asymmetric_required_divergence(d1, 1.0 / 3.0)
+            for d1 in (0.3, 0.03, 0.003, 0.0003)
+        ]
+        assert values == sorted(values)
+        assert values[-1] > 3 * values[0]
+
+    def test_log_rate_in_delta1(self):
+        """D(B(δ₁)||B(2/3)) ≈ log₂(1/(1-δ₀)) + ... grows like log(1/δ₁)·0 —
+        precisely, the dominant term is (1-δ₁)·log((1-δ₁)/(1-(1-δ₀)))."""
+        tiny = asymmetric_required_divergence(1e-6, 1.0 / 3.0)
+        # At δ₁ ≈ 0: D ≈ log2(1/(1 - 2/3)) = log2(3) bits, scaled by 0.1.
+        assert tiny == pytest.approx(0.1 * math.log2(3.0), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            asymmetric_required_divergence(0.0, 0.3)
+        with pytest.raises(InvalidParameterError):
+            asymmetric_required_divergence(0.3, 1.0)
+
+
+class TestAsymmetricQLowerBound:
+    def test_dominated_by_real_testers(self):
+        """The bound at standard errors stays below a real tester's q*."""
+        bound = asymmetric_q_lower_bound(1024, 16, 0.5, 1.0 / 3.0, 1.0 / 3.0)
+        assert 0 < bound < 96  # the threshold tester's default q at these params
+
+    def test_monotone_in_k(self):
+        few = asymmetric_q_lower_bound(1024, 4, 0.5, 0.1, 0.1)
+        many = asymmetric_q_lower_bound(1024, 64, 0.5, 0.1, 0.1)
+        assert many < few
+
+    def test_one_sided_testers_need_more(self):
+        balanced = asymmetric_q_lower_bound(1024, 16, 0.5, 1 / 3, 1 / 3)
+        one_sided = asymmetric_q_lower_bound(1024, 16, 0.5, 1e-9, 1 / 3)
+        assert one_sided > balanced
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            asymmetric_q_lower_bound(1, 4, 0.5, 0.1, 0.1)

@@ -1,0 +1,134 @@
+"""Tests for the Section 6.1 information-theoretic machinery."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import PaninskiFamily
+from repro.exceptions import InvalidParameterError
+from repro.lowerbounds.divergence import (
+    bernoulli_divergence,
+    check_fact_6_3,
+    exact_protocol_divergence,
+    fact_6_3_bound,
+    inequality_13_q_lower_bound,
+    kl_is_additive_for_product,
+    per_player_divergence_bound,
+    required_divergence,
+)
+from repro.lowerbounds.lemma_engine import (
+    constant_g,
+    random_g,
+    sign_dictator_g,
+    standard_g_suite,
+)
+
+
+class TestRequiredDivergence:
+    def test_value(self):
+        assert required_divergence(1.0 / 8.0) == pytest.approx(0.3)
+
+    def test_smaller_delta_needs_more(self):
+        assert required_divergence(0.01) > required_divergence(0.3)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            required_divergence(0.0)
+        with pytest.raises(InvalidParameterError):
+            required_divergence(1.0)
+
+
+class TestFact63:
+    @pytest.mark.parametrize("alpha", [0.01, 0.2, 0.5, 0.77, 0.99])
+    @pytest.mark.parametrize("beta", [0.05, 0.33, 0.5, 0.9])
+    def test_holds_on_grid(self, alpha, beta):
+        assert check_fact_6_3(alpha, beta)
+
+    def test_bound_formula(self):
+        assert fact_6_3_bound(0.6, 0.5) == pytest.approx(0.01 / (0.25 * math.log(2)))
+
+    def test_equal_parameters_zero(self):
+        assert bernoulli_divergence(0.4, 0.4) == pytest.approx(0.0)
+        assert fact_6_3_bound(0.4, 0.4) == pytest.approx(0.0)
+
+
+class TestAdditivity:
+    def test_product_of_identical_is_zero(self):
+        marginal = np.array([0.3, 0.7])
+        assert kl_is_additive_for_product([marginal] * 3, [marginal] * 3)
+
+    def test_additivity_on_explicit_product(self, rng):
+        p_marginals = [rng.dirichlet(np.ones(4)) for _ in range(3)]
+        q_marginals = [rng.dirichlet(np.ones(4)) for _ in range(3)]
+        assert kl_is_additive_for_product(p_marginals, q_marginals)
+
+    def test_rejects_mismatched_lists(self):
+        with pytest.raises(InvalidParameterError):
+            kl_is_additive_for_product([np.array([1.0])], [])
+
+
+class TestProtocolDivergence:
+    def test_constant_players_zero_divergence(self, small_family):
+        g = constant_g(small_family, 2, 1)
+        assert exact_protocol_divergence([g], small_family, 2) == pytest.approx(0.0)
+
+    def test_additive_across_players(self, small_family, rng):
+        """k identical players have exactly k times one player's divergence."""
+        g = random_g(small_family, 2, 0.5, rng)
+        single = exact_protocol_divergence([g], small_family, 2)
+        triple = exact_protocol_divergence([g, g, g], small_family, 2)
+        assert triple == pytest.approx(3 * single)
+
+    def test_q_one_zero_divergence_on_average_is_false(self, small_family):
+        """Even at q=1 individual ν_z(G) differ from μ(G) (only the mixture
+        is uniform), so the expected divergence is strictly positive for a
+        sensitive G."""
+        g = sign_dictator_g(small_family, 1)
+        assert exact_protocol_divergence([g], small_family, 1) > 0.0
+
+    def test_inequality_12_chain(self, rng):
+        """E_z[D(ν_G^z || μ_G)] ≤ (20q²ε⁴/n + qε²/n)/ln2 for every G
+        (Lemma 4.2 + Fact 6.3, the paper's inequality (12))."""
+        family = PaninskiFamily(8, 0.4)
+        for q in (1, 2):
+            for label, g in standard_g_suite(family, q, rng):
+                exact = exact_protocol_divergence([g], family, q)
+                bound = per_player_divergence_bound(g, family, q)
+                assert exact <= bound + 1e-9, (label, q, exact, bound)
+
+    def test_needs_at_least_one_player(self, small_family):
+        with pytest.raises(InvalidParameterError):
+            exact_protocol_divergence([], small_family, 1)
+
+
+class TestInequality13:
+    def test_more_players_lower_q_bound(self):
+        few = inequality_13_q_lower_bound(1024, 4, 0.5)
+        many = inequality_13_q_lower_bound(1024, 64, 0.5)
+        assert many < few
+
+    def test_smaller_delta_raises_bound(self):
+        loose = inequality_13_q_lower_bound(1024, 16, 0.5, delta=1 / 3)
+        tight = inequality_13_q_lower_bound(1024, 16, 0.5, delta=1e-4)
+        assert tight > loose
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            inequality_13_q_lower_bound(1, 4, 0.5)
+        with pytest.raises(InvalidParameterError):
+            inequality_13_q_lower_bound(64, 4, 0.5, delta=2.0)
+
+
+@given(
+    alpha=st.floats(min_value=0.001, max_value=0.999),
+    beta=st.floats(min_value=0.001, max_value=0.999),
+)
+@settings(max_examples=100, deadline=None)
+def test_fact_6_3_property(alpha, beta):
+    """Property: Fact 6.3 holds for all Bernoulli pairs."""
+    assert check_fact_6_3(alpha, beta)

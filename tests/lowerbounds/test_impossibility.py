@@ -1,0 +1,68 @@
+"""Tests for the q=1 AND-rule impossibility (remark after Theorem 1.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import PaninskiFamily
+from repro.exceptions import InvalidParameterError
+from repro.lowerbounds import verify_q1_and_impossibility
+from repro.lowerbounds.impossibility import _nu_z_of_table
+
+
+class TestExhaustiveCheck:
+    @pytest.mark.parametrize("eps", [0.2, 0.5, 0.8])
+    def test_no_violations_any_epsilon(self, eps):
+        report = verify_q1_and_impossibility(6, eps, k_values=(1, 3, 9, 27))
+        assert report.violations == 0
+        assert report.max_separation <= 0.0 + 1e-15
+        assert report.impossibility_holds
+
+    def test_best_success_is_exactly_half(self):
+        """The optimum min(completeness, soundness) is 1/2: take G ≡ 1
+        (accept everything) — completeness 1, soundness 0, min 0... the
+        1/2 comes from balanced bits at k = 1."""
+        report = verify_q1_and_impossibility(8, 0.6)
+        assert report.best_min_success == pytest.approx(0.5)
+
+    def test_all_tables_enumerated(self):
+        report = verify_q1_and_impossibility(4, 0.5, k_values=(1, 2))
+        assert report.tables_checked == 16
+
+    def test_rejects_large_n(self):
+        with pytest.raises(InvalidParameterError):
+            verify_q1_and_impossibility(20, 0.5)
+
+    def test_rejects_empty_k(self):
+        with pytest.raises(InvalidParameterError):
+            verify_q1_and_impossibility(6, 0.5, k_values=())
+
+
+class TestMechanism:
+    def test_nu_values_average_to_mu(self):
+        """E_z[ν_z(G)] = μ(G) — the single-sample mixture is uniform."""
+        family = PaninskiFamily(8, 0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            table = (rng.random(8) < 0.5).astype(np.float64)
+            nu_values = _nu_z_of_table(family, table)
+            assert nu_values.mean() == pytest.approx(table.mean())
+
+
+@given(
+    half=st.integers(min_value=2, max_value=4),
+    eps=st.floats(min_value=0.1, max_value=0.9),
+    mask=st.integers(min_value=0, max_value=255),
+    k=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=60, deadline=None)
+def test_jensen_property(half, eps, mask, k):
+    """Property: E_z[ν_z(G)^k] >= μ(G)^k for arbitrary G, k (Jensen)."""
+    n = 2 * half
+    family = PaninskiFamily(n, eps)
+    table = np.array([(mask >> i) & 1 for i in range(n)], dtype=np.float64)
+    nu_values = _nu_z_of_table(family, table)
+    assert float((nu_values**k).mean()) >= float(table.mean()) ** k - 1e-12

@@ -1,0 +1,92 @@
+"""Tests for the end-to-end network uniformity tester."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.referees import ThresholdRule
+from repro.network import (
+    NetworkUniformityTester,
+    grid_topology,
+    line_topology,
+    star_topology,
+)
+
+N, EPS = 256, 0.5
+FAR = repro.two_level_distribution(N, EPS)
+
+
+class TestEquivalenceWithSimultaneousModel:
+    def test_decision_matches_threshold_rule_bit_for_bit(self, rng):
+        """The network's verdict on explicit alarm bits must equal the
+        abstract referee's on the same bits — for every tried bit vector."""
+        tester = NetworkUniformityTester(grid_topology(3, 3), N, EPS)
+        referee = ThresholdRule(tester.reject_threshold, num_players=9)
+        for _ in range(25):
+            alarms = rng.integers(0, 2, size=9)
+            report = tester.decide_from_alarms(alarms)
+            expected = referee.decide(1 - alarms)  # referee takes accept bits
+            assert report.accepted == expected
+            assert report.alarm_count == alarms.sum()
+
+    def test_same_calibration_as_reference_tester(self):
+        network = NetworkUniformityTester(star_topology(16), N, EPS)
+        reference = repro.ThresholdRuleTester(N, EPS, k=16)
+        assert network.q == reference.q
+        assert network.reject_threshold == reference.reject_threshold
+
+
+class TestStatisticalBehaviour:
+    def test_completeness(self):
+        tester = NetworkUniformityTester(grid_topology(4, 4), N, EPS)
+        assert tester.acceptance_probability(repro.uniform(N), 60, rng=0) >= 0.6
+
+    def test_soundness(self):
+        tester = NetworkUniformityTester(grid_topology(4, 4), N, EPS)
+        assert tester.acceptance_probability(FAR, 60, rng=1) <= 0.4
+
+    def test_topology_does_not_change_statistics(self):
+        """Only costs depend on the topology; the decision law does not."""
+        star = NetworkUniformityTester(star_topology(12), N, EPS)
+        line = NetworkUniformityTester(line_topology(12), N, EPS)
+        star_rate = star.acceptance_probability(repro.uniform(N), 80, rng=2)
+        line_rate = line.acceptance_probability(repro.uniform(N), 80, rng=3)
+        assert star_rate == pytest.approx(line_rate, abs=0.2)
+
+
+class TestCostAccounting:
+    def test_rounds_scale_with_depth_not_size(self):
+        wide = NetworkUniformityTester(star_topology(25), N, EPS)      # depth 1
+        deep = NetworkUniformityTester(line_topology(25), N, EPS)      # depth 24
+        wide_report = wide.run(repro.uniform(N), rng=0)
+        deep_report = deep.run(repro.uniform(N), rng=1)
+        assert wide_report.tree_depth == 1
+        assert deep_report.tree_depth == 24
+        # Excluding the k-round BFS bound, aggregation rounds track depth.
+        assert deep_report.rounds > wide_report.rounds
+
+    def test_message_width_logarithmic_in_k(self):
+        k = 25
+        tester = NetworkUniformityTester(star_topology(k), N, EPS)
+        report = tester.run(repro.uniform(N), rng=0)
+        assert report.max_message_bits <= int(np.ceil(np.log2(k + 1)))
+
+    def test_everyone_learns_the_verdict(self):
+        tester = NetworkUniformityTester(grid_topology(3, 4), N, EPS)
+        report = tester.run(FAR, rng=0)
+        assert report.all_nodes_learned_verdict
+
+    def test_message_count_linear_in_edges(self):
+        tester = NetworkUniformityTester(line_topology(10), N, EPS)
+        report = tester.run(repro.uniform(N), rng=0)
+        # BFS floods each edge O(1) times; convergecast+broadcast use each
+        # tree edge once per direction.
+        assert report.messages <= 6 * tester.graph.number_of_edges() + 2 * tester.k
+
+    def test_custom_root(self):
+        tester = NetworkUniformityTester(line_topology(7), N, EPS, root=3)
+        assert tester.parents[3] == -1
+        report = tester.run(repro.uniform(N), rng=0)
+        assert report.tree_depth == 3

@@ -1,0 +1,162 @@
+"""Tests for the identity→uniformity reduction (Goldreich [11])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.distributions import DiscreteDistribution, l1_distance, uniform
+from repro.exceptions import InvalidParameterError
+from repro.reductions import IdentityTester, IdentityTestingReduction
+
+
+def make_reduction(n=32, eps=0.5, exponent=0.7, grain_factor=24.0):
+    target = repro.zipf_distribution(n, exponent)
+    return target, IdentityTestingReduction(target, eps, grain_factor)
+
+
+class TestReductionConstruction:
+    def test_domain_size_scale(self):
+        _, red = make_reduction(n=32, eps=0.5, grain_factor=24.0)
+        # ~ c·n/ε grains (+ slack)
+        assert red.output_domain_size == pytest.approx(24 * 32 / 0.5, rel=0.1)
+
+    def test_residual_epsilon_formula(self):
+        _, red = make_reduction(eps=0.6, grain_factor=24.0)
+        assert red.residual_epsilon() == pytest.approx(0.3 - 2.0 / 24.0)
+
+    def test_rejects_tiny_grain_factor(self):
+        target = uniform(8)
+        with pytest.raises(InvalidParameterError):
+            IdentityTestingReduction(target, 0.5, grain_factor=2.0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            IdentityTestingReduction(uniform(8), 0.0)
+
+    def test_every_element_gets_a_grain_even_with_zero_mass(self):
+        # mixing with uniform guarantees mass >= 1/(2n) everywhere
+        target = repro.point_mass(16, 0)
+        red = IdentityTestingReduction(target, 0.5)
+        assert red.output_domain_size > 16
+
+
+class TestAnalyticNull:
+    """If μ = target the output must be (essentially exactly) uniform."""
+
+    @pytest.mark.parametrize("exponent", [0.0, 0.5, 1.2])
+    def test_null_output_is_near_uniform(self, exponent):
+        target, red = make_reduction(exponent=exponent)
+        out = red.output_pmf(target)
+        flat = 1.0 / red.output_domain_size
+        # Rounding leaves only the slack-grain sliver; per-grain deviation
+        # is far below the residual-epsilon detection threshold.
+        assert np.abs(out - flat).sum() < red.residual_epsilon() / 10
+
+    def test_output_pmf_is_distribution(self):
+        target, red = make_reduction()
+        for dist in (target, uniform(32), repro.two_level_distribution(32, 0.4)):
+            out = red.output_pmf(dist)
+            assert out.sum() == pytest.approx(1.0)
+            assert (out >= 0).all()
+
+    def test_far_input_stays_far(self):
+        target, red = make_reduction(eps=0.5)
+        far = repro.zipf_distribution(32, 2.2)
+        assert l1_distance(far, target) >= 0.5
+        out = red.output_pmf(far)
+        flat = 1.0 / red.output_domain_size
+        assert np.abs(out - flat).sum() >= red.residual_epsilon()
+
+    def test_domain_mismatch_rejected(self):
+        _, red = make_reduction(n=32)
+        with pytest.raises(InvalidParameterError):
+            red.output_pmf(uniform(16))
+
+
+class TestSamplingForm:
+    def test_transform_preserves_shape(self, rng):
+        target, red = make_reduction()
+        samples = target.sample_matrix(7, 5, rng)
+        out = red.transform_samples(samples, rng)
+        assert out.shape == (7, 5)
+
+    def test_output_range(self, rng):
+        target, red = make_reduction()
+        out = red.transform_samples(target.sample(2000, rng), rng)
+        assert out.min() >= 0
+        assert out.max() < red.output_domain_size
+
+    def test_rejects_out_of_domain_samples(self, rng):
+        _, red = make_reduction(n=32)
+        with pytest.raises(InvalidParameterError):
+            red.transform_samples(np.array([40]), rng)
+
+    def test_empirical_matches_analytic(self, rng):
+        """The sampled transformation follows output_pmf."""
+        target, red = make_reduction(n=8, eps=0.5, grain_factor=8.0)
+        source = repro.two_level_distribution(8, 0.4)
+        out = red.transform_samples(source.sample(60_000, rng), rng)
+        empirical = np.bincount(out, minlength=red.output_domain_size) / 60_000
+        analytic = red.output_pmf(source)
+        assert np.abs(empirical - analytic).sum() < 0.1
+
+
+class TestIdentityTester:
+    def test_accepts_target(self):
+        target = repro.zipf_distribution(32, 0.7)
+        tester = IdentityTester(target, 0.6)
+        assert tester.acceptance_probability(target, 120, rng=0) >= 0.7
+
+    def test_rejects_far_distribution(self):
+        target = repro.zipf_distribution(32, 0.7)
+        far = uniform(32)
+        assert l1_distance(far, target) > 0.5
+        tester = IdentityTester(target, 0.5)
+        assert tester.acceptance_probability(far, 120, rng=1) <= 0.3
+
+    def test_identity_to_uniform_degenerates_to_uniformity(self):
+        tester = IdentityTester(uniform(32), 0.6)
+        assert tester.acceptance_probability(uniform(32), 120, rng=2) >= 0.7
+        far = repro.two_level_distribution(32, 0.8)
+        assert tester.acceptance_probability(far, 120, rng=3) <= 0.33
+
+    def test_distributed_tester_factory(self):
+        """The reduction composes with the distributed threshold tester."""
+        target = repro.zipf_distribution(32, 0.7)
+        tester = IdentityTester(
+            target,
+            0.6,
+            tester_factory=lambda n, eps: repro.ThresholdRuleTester(n, eps, k=8),
+        )
+        assert tester.acceptance_probability(target, 100, rng=4) >= 0.65
+        assert tester.acceptance_probability(uniform(32), 100, rng=5) <= 0.35
+
+    def test_rejects_gapless_configuration(self):
+        with pytest.raises(InvalidParameterError):
+            IdentityTester(uniform(16), 0.15, grain_factor=4.0)
+
+    def test_single_shot(self):
+        target = repro.zipf_distribution(16, 0.6)
+        tester = IdentityTester(target, 0.6)
+        assert isinstance(tester.test(target, rng=0), bool)
+
+
+@given(
+    n=st.integers(min_value=4, max_value=32),
+    eps=st.floats(min_value=0.2, max_value=0.8),
+    concentration=st.floats(min_value=0.3, max_value=5.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_null_uniformity_property(n, eps, concentration, seed):
+    """Property: the reduction maps ANY target to a near-uniform null."""
+    rng = np.random.default_rng(seed)
+    target = DiscreteDistribution(rng.dirichlet(np.full(n, concentration)))
+    reduction = IdentityTestingReduction(target, eps)
+    out = reduction.output_pmf(target)
+    flat = 1.0 / reduction.output_domain_size
+    assert np.abs(out - flat).sum() < max(reduction.residual_epsilon() / 5, 0.02)

@@ -1,0 +1,196 @@
+"""Tests for the empirical complexity search and power curves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CentralizedCollisionTester, ThresholdRuleTester
+from repro.distributions import two_level_distribution, uniform
+from repro.exceptions import InvalidParameterError, SearchDivergedError
+from repro.stats import (
+    empirical_player_complexity,
+    empirical_sample_complexity,
+    power_curve,
+)
+from repro.stats.complexity import (
+    SampleComplexityResult,
+    default_far_distributions,
+    success_at,
+)
+
+N, EPS = 256, 0.5
+
+
+class TestSuccessAt:
+    def test_strong_tester_scores_high(self):
+        tester = CentralizedCollisionTester(N, EPS, q=400)
+        far = [two_level_distribution(N, EPS)]
+        assert success_at(tester, far, trials=200, rng=0) >= 0.7
+
+    def test_weak_tester_scores_low(self):
+        tester = CentralizedCollisionTester(N, EPS, q=4)
+        far = [two_level_distribution(N, EPS)]
+        assert success_at(tester, far, trials=200, rng=0) < 0.67
+
+    def test_requires_far_distributions(self):
+        tester = CentralizedCollisionTester(N, EPS)
+        with pytest.raises(InvalidParameterError):
+            success_at(tester, [], trials=10)
+
+    def test_default_far_distributions_are_far(self):
+        from repro.distributions import distance_to_uniform
+
+        for dist in default_far_distributions(N, EPS, rng=0):
+            assert distance_to_uniform(dist) >= EPS - 1e-9
+
+
+class TestSampleComplexitySearch:
+    def test_finds_reasonable_q_star(self):
+        result = empirical_sample_complexity(
+            lambda q: CentralizedCollisionTester(N, EPS, q=q),
+            n=N,
+            epsilon=EPS,
+            trials=200,
+            rng=0,
+        )
+        # Theory: Θ(√n/ε²) = Θ(64); allow generous slack either way.
+        assert 16 <= result.resource_star <= 1024
+
+    def test_result_curve_recorded(self):
+        result = empirical_sample_complexity(
+            lambda q: CentralizedCollisionTester(N, EPS, q=q),
+            n=N,
+            epsilon=EPS,
+            trials=150,
+            rng=0,
+        )
+        assert isinstance(result, SampleComplexityResult)
+        assert result.resource_star in result.curve or result.curve
+        assert result.bracket_high >= result.bracket_low
+
+    def test_immediate_success_at_minimum(self):
+        result = empirical_sample_complexity(
+            lambda q: CentralizedCollisionTester(N, EPS, q=max(q, 600)),
+            n=N,
+            epsilon=EPS,
+            trials=150,
+            q_min=2,
+            rng=0,
+        )
+        assert result.resource_star == 2
+
+    def test_divergence_raises(self):
+        with pytest.raises(SearchDivergedError):
+            empirical_sample_complexity(
+                lambda q: CentralizedCollisionTester(N, EPS, q=2),  # never improves
+                n=N,
+                epsilon=EPS,
+                trials=100,
+                q_max=64,
+                rng=0,
+            )
+
+    def test_more_players_need_fewer_samples(self):
+        few = empirical_sample_complexity(
+            lambda q: ThresholdRuleTester(N, EPS, 2, q=q),
+            n=N,
+            epsilon=EPS,
+            trials=150,
+            rng=0,
+        )
+        many = empirical_sample_complexity(
+            lambda q: ThresholdRuleTester(N, EPS, 32, q=q),
+            n=N,
+            epsilon=EPS,
+            trials=150,
+            rng=0,
+        )
+        assert many.resource_star < few.resource_star
+
+
+class TestPlayerComplexitySearch:
+    def test_threshold_tester_k_search(self):
+        result = empirical_player_complexity(
+            lambda k: ThresholdRuleTester(N, EPS, k, q=16),
+            n=N,
+            epsilon=EPS,
+            trials=150,
+            rng=0,
+        )
+        assert result.resource_star >= 2
+
+    def test_level_rounding_applied(self):
+        seen = []
+
+        def factory(k):
+            seen.append(k)
+            return ThresholdRuleTester(N, EPS, k, q=24)
+
+        empirical_player_complexity(
+            factory,
+            n=N,
+            epsilon=EPS,
+            trials=100,
+            rng=0,
+            level_rounding=lambda k: k + (k % 2),  # force even
+        )
+        assert all(k % 2 == 0 for k in seen)
+
+
+class TestPowerCurve:
+    def test_monotone_ish_success(self):
+        curve = power_curve(
+            lambda q: CentralizedCollisionTester(N, EPS, q=q),
+            levels=[8, 64, 512],
+            n=N,
+            epsilon=EPS,
+            trials=200,
+            rng=0,
+        )
+        assert curve.successes[0] < curve.successes[-1]
+
+    def test_crossing(self):
+        curve = power_curve(
+            lambda q: CentralizedCollisionTester(N, EPS, q=q),
+            levels=[8, 64, 512],
+            n=N,
+            epsilon=EPS,
+            trials=200,
+            rng=0,
+        )
+        crossing = curve.crossing(2.0 / 3.0)
+        assert crossing in (64, 512)
+
+    def test_crossing_none_when_never_reached(self):
+        curve = power_curve(
+            lambda q: CentralizedCollisionTester(N, EPS, q=q),
+            levels=[2, 3],
+            n=N,
+            epsilon=EPS,
+            trials=150,
+            rng=0,
+        )
+        assert curve.crossing(0.99) is None
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(InvalidParameterError):
+            power_curve(
+                lambda q: CentralizedCollisionTester(N, EPS, q=q),
+                levels=[],
+                n=N,
+                epsilon=EPS,
+            )
+
+    def test_as_rows(self):
+        curve = power_curve(
+            lambda q: CentralizedCollisionTester(N, EPS, q=q),
+            levels=[8],
+            n=N,
+            epsilon=EPS,
+            trials=50,
+            rng=0,
+            label="demo",
+        )
+        rows = curve.as_rows()
+        assert rows[0]["level"] == 8
+        assert 0.0 <= rows[0]["success"] <= 1.0

@@ -1,0 +1,99 @@
+"""Tests for the sequential (SPRT) success classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.stats.sequential import SprtResult, sprt_batched, sprt_bernoulli
+
+
+def bernoulli_stream(p, seed):
+    rng = np.random.default_rng(seed)
+    return lambda: bool(rng.random() < p)
+
+
+class TestSprt:
+    def test_clearly_above(self):
+        result = sprt_bernoulli(bernoulli_stream(0.95, 0), target=0.66)
+        assert result.decided_above
+        assert result.trials_used < 100
+
+    def test_clearly_below(self):
+        result = sprt_bernoulli(bernoulli_stream(0.2, 1), target=0.66)
+        assert not result.decided_above
+        assert result.trials_used < 100
+
+    def test_easy_calls_cheaper_than_hard(self):
+        easy = sprt_bernoulli(bernoulli_stream(0.95, 2), target=0.66)
+        hard = sprt_bernoulli(bernoulli_stream(0.70, 3), target=0.66)
+        assert easy.trials_used < hard.trials_used
+
+    def test_max_trials_respected(self):
+        result = sprt_bernoulli(
+            bernoulli_stream(0.66, 4), target=0.66, max_trials=30
+        )
+        assert result.trials_used <= 30
+
+    def test_error_rate_statistically(self):
+        """Above-threshold streams must be classified above most of the time."""
+        correct = sum(
+            sprt_bernoulli(
+                bernoulli_stream(0.80, seed), target=0.66, margin=0.06
+            ).decided_above
+            for seed in range(40)
+        )
+        assert correct >= 36
+
+    def test_validation(self):
+        stream = bernoulli_stream(0.5, 0)
+        with pytest.raises(InvalidParameterError):
+            sprt_bernoulli(stream, target=1.5)
+        with pytest.raises(InvalidParameterError):
+            sprt_bernoulli(stream, target=0.5, margin=0.6)
+        with pytest.raises(InvalidParameterError):
+            sprt_bernoulli(stream, target=0.5, error_rate=0.7)
+        with pytest.raises(InvalidParameterError):
+            sprt_bernoulli(stream, target=0.5, max_trials=0)
+
+
+class TestBatched:
+    def _batch(self, p, seed):
+        rng = np.random.default_rng(seed)
+        return lambda count: int((rng.random(count) < p).sum())
+
+    def test_agrees_with_reality(self):
+        above = sprt_batched(self._batch(0.9, 0), target=0.66)
+        below = sprt_batched(self._batch(0.3, 1), target=0.66)
+        assert above.decided_above
+        assert not below.decided_above
+
+    def test_counts_accounting(self):
+        result = sprt_batched(self._batch(0.9, 2), target=0.66, batch_size=25)
+        assert result.trials_used % 25 == 0
+        assert 0 <= result.successes <= result.trials_used
+
+    def test_rejects_lying_batcher(self):
+        with pytest.raises(InvalidParameterError):
+            sprt_batched(lambda count: count + 5, target=0.5)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(InvalidParameterError):
+            sprt_batched(self._batch(0.5, 0), target=0.5, batch_size=0)
+
+
+@given(
+    p=st.floats(min_value=0.05, max_value=0.95),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_sprt_always_terminates_with_valid_result(p, seed):
+    result = sprt_bernoulli(
+        bernoulli_stream(p, seed), target=0.5, margin=0.1, max_trials=500
+    )
+    assert isinstance(result, SprtResult)
+    assert 1 <= result.trials_used <= 500
+    assert 0 <= result.successes <= result.trials_used

@@ -1,0 +1,46 @@
+"""Grid correctness sweep: the flagship testers meet the 2/3 contract
+across a parameter grid, not just at one calibration point."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+GRID = [
+    # (n, k, eps)
+    (128, 4, 0.6),
+    (256, 16, 0.5),
+    (512, 8, 0.5),
+    (1024, 32, 0.4),
+]
+
+
+@pytest.mark.parametrize("n,k,eps", GRID)
+def test_threshold_tester_contract_across_grid(n, k, eps):
+    tester = repro.ThresholdRuleTester(n, eps, k)
+    far = repro.two_level_distribution(n, eps)
+    assert tester.completeness(250, rng=hash((n, k)) % 1000) >= 0.62
+    assert tester.soundness(far, 250, rng=hash((k, n)) % 1000) >= 0.62
+
+
+@pytest.mark.parametrize("n,k,eps", GRID)
+def test_threshold_tester_beats_theorem_bound_across_grid(n, k, eps):
+    tester = repro.ThresholdRuleTester(n, eps, k)
+    assert tester.q >= repro.theorem_1_1_q_lower(n, k, eps)
+
+
+@pytest.mark.parametrize("n,eps", [(128, 0.6), (256, 0.5), (1024, 0.4)])
+def test_centralized_tester_contract_across_grid(n, eps):
+    tester = repro.CentralizedCollisionTester(n, eps)
+    member = repro.PaninskiFamily(n, eps).sample_distribution(n)
+    assert tester.completeness(250, rng=n) >= 0.62
+    assert tester.soundness(member, 250, rng=n + 1) >= 0.62
+
+
+@pytest.mark.parametrize("n,k,eps", [(256, 8, 0.5), (512, 16, 0.5)])
+def test_and_tester_contract_across_grid(n, k, eps):
+    tester = repro.AndRuleTester(n, eps, k)
+    far = repro.two_level_distribution(n, eps)
+    assert tester.completeness(250, rng=k) >= 0.6
+    assert tester.soundness(far, 250, rng=k + 1) >= 0.6

@@ -1,0 +1,27 @@
+"""Run the executable examples embedded in public docstrings.
+
+Docstrings with ``>>>`` examples are part of the documented API surface;
+this harness keeps them honest.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES_WITH_EXAMPLES = [
+    "repro.rng",
+    "repro.distributions.discrete",
+    "repro.distributions.families",
+    "repro.fourier.transform",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_EXAMPLES)
+def test_docstring_examples(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+    assert results.attempted > 0, f"no doctests found in {module_name}"

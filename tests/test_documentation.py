@@ -1,0 +1,92 @@
+"""Documentation consistency checks.
+
+These keep DESIGN.md, EXPERIMENTS.md and the experiment registry honest
+with each other: every registered experiment must be indexed in DESIGN.md
+and recorded in EXPERIMENTS.md, and every bench file must target a
+registered experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+from repro.experiments.registry import experiment_ids
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+
+
+def read(name: str) -> str:
+    path = os.path.join(REPO_ROOT, name)
+    if not os.path.exists(path):
+        pytest.skip(f"{name} not present")
+    with open(path) as handle:
+        return handle.read()
+
+
+class TestDesignDoc:
+    def test_every_experiment_indexed(self):
+        design = read("DESIGN.md")
+        for experiment_id in experiment_ids():
+            label = experiment_id.upper().replace("E0", "E").replace("E1", "E1")
+            short = f"E{int(experiment_id[1:])}"
+            assert (
+                f"| {short} " in design
+            ), f"{experiment_id} missing from DESIGN.md experiment index"
+
+    def test_paper_check_recorded(self):
+        design = read("DESIGN.md")
+        assert "matches the title" in design or "correct paper" in design
+
+    def test_reproduction_findings_section(self):
+        design = read("DESIGN.md")
+        assert "Lemma 4.2" in design
+        assert "LEMMA_4_2_LINEAR_COEFFICIENT" in design
+
+
+class TestExperimentsDoc:
+    def test_every_experiment_recorded(self):
+        experiments = read("EXPERIMENTS.md")
+        for experiment_id in experiment_ids():
+            assert (
+                f"## {experiment_id.upper()}" in experiments
+            ), f"{experiment_id} missing from EXPERIMENTS.md"
+
+    def test_generated_marker_present(self):
+        experiments = read("EXPERIMENTS.md")
+        assert "repro.experiments.report" in experiments
+
+
+class TestBenchCoverage:
+    def test_every_experiment_has_a_bench(self):
+        bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+        files = os.listdir(bench_dir)
+        for experiment_id in experiment_ids():
+            matches = [f for f in files if f.startswith(f"test_bench_{experiment_id}")]
+            assert matches, f"no benchmark file for {experiment_id}"
+
+    def test_benches_only_target_registered_experiments(self):
+        bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+        pattern = re.compile(r'run_experiment\("(e\d+)"')
+        for name in os.listdir(bench_dir):
+            if not name.startswith("test_bench"):
+                continue
+            with open(os.path.join(bench_dir, name)) as handle:
+                for match in pattern.finditer(handle.read()):
+                    assert match.group(1) in experiment_ids(), (name, match.group(1))
+
+
+class TestReadme:
+    def test_mentions_all_deliverable_layers(self):
+        readme = read("README.md")
+        for keyword in (
+            "Install",
+            "Quickstart",
+            "Architecture",
+            "EXPERIMENTS.md",
+            "DESIGN.md",
+            "examples/",
+        ):
+            assert keyword in readme, f"README missing {keyword!r}"

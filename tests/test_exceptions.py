@@ -1,0 +1,55 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    DimensionMismatchError,
+    InvalidDistributionError,
+    InvalidParameterError,
+    ProtocolError,
+    ReproError,
+    SearchDivergedError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            InvalidDistributionError,
+            InvalidParameterError,
+            DimensionMismatchError,
+            ProtocolError,
+            SearchDivergedError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception):
+        assert issubclass(exception, ReproError)
+
+    def test_value_errors_are_value_errors(self):
+        assert issubclass(InvalidDistributionError, ValueError)
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_runtime_errors_are_runtime_errors(self):
+        assert issubclass(ProtocolError, RuntimeError)
+        assert issubclass(SearchDivergedError, RuntimeError)
+
+    def test_catching_base_catches_library_failures(self):
+        with pytest.raises(ReproError):
+            repro.uniform(0)
+
+
+class TestPublicApi:
+    def test_version_exposed(self):
+        assert isinstance(repro.__version__, str)
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_from_docstring(self):
+        tester = repro.ThresholdRuleTester(n=256, epsilon=0.5, k=16)
+        assert isinstance(tester.test(repro.uniform(256), rng=0), bool)

@@ -1,0 +1,100 @@
+"""Packaging and metadata consistency checks."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+
+
+class TestVersion:
+    def test_version_matches_pyproject(self):
+        with open(os.path.join(REPO_ROOT, "pyproject.toml")) as handle:
+            pyproject = handle.read()
+        assert f'version = "{repro.__version__}"' in pyproject
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.distributions",
+            "repro.fourier",
+            "repro.core",
+            "repro.lowerbounds",
+            "repro.stats",
+            "repro.experiments",
+            "repro.reductions",
+            "repro.network",
+            "repro.cli",
+        ],
+    )
+    def test_importable(self, module):
+        import importlib
+
+        importlib.import_module(module)
+
+    def test_subpackage_alls_resolve(self):
+        """Every name in a subpackage __all__ must exist."""
+        import importlib
+
+        for name in (
+            "repro.distributions",
+            "repro.fourier",
+            "repro.core",
+            "repro.lowerbounds",
+            "repro.stats",
+            "repro.network",
+            "repro.reductions",
+        ):
+            module = importlib.import_module(name)
+            for exported in module.__all__:
+                assert hasattr(module, exported), (name, exported)
+
+
+class TestDependencies:
+    def test_only_declared_runtime_dependencies(self):
+        """Source modules must import only numpy/scipy/networkx + stdlib.
+
+        networkx is used by the network substrate and ships in the offline
+        environment; anything else would break a clean install.
+        """
+        import ast
+
+        allowed_third_party = {"numpy", "scipy", "networkx"}
+        src_root = os.path.join(REPO_ROOT, "src", "repro")
+        offenders = []
+        for dirpath, _, filenames in os.walk(src_root):
+            for filename in filenames:
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                with open(path) as handle:
+                    tree = ast.parse(handle.read())
+                for node in ast.walk(tree):
+                    roots = []
+                    if isinstance(node, ast.Import):
+                        roots = [alias.name.split(".")[0] for alias in node.names]
+                    elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                        if node.module:
+                            roots = [node.module.split(".")[0]]
+                    for root in roots:
+                        if root in {"repro", "__future__"}:
+                            continue
+                        if root in allowed_third_party:
+                            continue
+                        import sys
+
+                        if root in sys.stdlib_module_names:
+                            continue
+                        offenders.append((path, root))
+        assert not offenders, offenders

@@ -1,0 +1,92 @@
+"""Tests for RNG utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.rng import (
+    ensure_rng,
+    random_seed_array,
+    shared_randomness,
+    spawn_streams,
+    stream_for_player,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_seed_sequence(self):
+        sequence = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(sequence), np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(InvalidParameterError):
+            ensure_rng("not a seed")
+
+
+class TestStreams:
+    def test_spawn_count(self):
+        streams = spawn_streams(0, 5)
+        assert len(streams) == 5
+
+    def test_spawn_zero(self):
+        assert spawn_streams(0, 0) == []
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            spawn_streams(0, -1)
+
+    def test_spawned_streams_differ(self):
+        streams = spawn_streams(0, 2)
+        assert not np.array_equal(streams[0].random(10), streams[1].random(10))
+
+    def test_spawn_deterministic_from_seed(self):
+        a = spawn_streams(123, 3)[2].random(4)
+        b = spawn_streams(123, 3)[2].random(4)
+        assert np.array_equal(a, b)
+
+    def test_stream_for_player_deterministic(self):
+        a = stream_for_player(9, 4).random(3)
+        b = stream_for_player(9, 4).random(3)
+        assert np.array_equal(a, b)
+
+    def test_stream_for_player_distinct(self):
+        a = stream_for_player(9, 0).random(10)
+        b = stream_for_player(9, 1).random(10)
+        assert not np.array_equal(a, b)
+
+    def test_stream_for_player_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            stream_for_player(9, -1)
+
+
+class TestSharedRandomness:
+    def test_all_players_see_same_stream(self):
+        streams = shared_randomness(0, 4)
+        draws = [stream.random(8) for stream in streams]
+        for other in draws[1:]:
+            assert np.array_equal(draws[0], other)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            shared_randomness(0, -2)
+
+
+class TestSeedArray:
+    def test_count_and_range(self):
+        seeds = random_seed_array(0, 10)
+        assert len(seeds) == 10
+        assert all(0 <= s < 2**63 for s in seeds)
