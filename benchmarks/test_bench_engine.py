@@ -1,0 +1,71 @@
+"""Engine benchmark — serial vs. parallel wall time on the E1 small grid.
+
+Runs the same E1 (Theorem 1.1) small-scale grid twice — once on
+``SerialBackend``, once on ``ProcessPoolBackend(4)`` — asserts the
+measured ``q_star`` rows are bit-identical, and records wall times plus
+the speedup in ``BENCH_engine.json`` at the repo root.
+
+The ≥2× speedup criterion is only asserted on machines with at least 4
+CPU cores; a process pool cannot beat serial execution on fewer, so
+constrained runners record the numbers without failing the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.engine import ProcessPoolBackend, SerialBackend, collect_metrics, engine_context
+from repro.experiments import run_experiment
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_engine.json")
+WORKERS = 4
+
+
+def _timed_run(backend):
+    with engine_context(backend=backend):
+        with collect_metrics() as metrics:
+            start = time.perf_counter()
+            result = run_experiment("e01", scale="small", seed=0)
+            elapsed = time.perf_counter() - start
+    return result, elapsed, metrics.snapshot()
+
+
+def test_bench_engine_serial_vs_parallel():
+    serial_result, serial_s, serial_metrics = _timed_run(SerialBackend())
+
+    pool = ProcessPoolBackend(max_workers=WORKERS)
+    try:
+        parallel_result, parallel_s, parallel_metrics = _timed_run(pool)
+    finally:
+        pool.close()
+
+    # Determinism is unconditional: identical grids, identical q*.
+    serial_rows = [row["q_star"] for row in serial_result.rows]
+    parallel_rows = [row["q_star"] for row in parallel_result.rows]
+    assert serial_rows == parallel_rows
+    assert serial_metrics["protocol_trials"] == parallel_metrics["protocol_trials"]
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    payload = {
+        "benchmark": "e01-small-grid",
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "rows_identical": serial_rows == parallel_rows,
+        "q_star_rows": serial_rows,
+        "serial_metrics": serial_metrics,
+        "parallel_metrics": parallel_metrics,
+    }
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # The speedup target needs real cores behind the pool.
+    if (os.cpu_count() or 1) >= 2 * WORKERS:
+        assert speedup >= 2.0, payload
+    elif (os.cpu_count() or 1) >= WORKERS:
+        assert speedup >= 1.2, payload

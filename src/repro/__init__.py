@@ -103,8 +103,26 @@ from .stats import (
     fit_power_law,
     power_curve,
 )
+from .engine import (
+    AcceptanceCache,
+    EngineConfig,
+    EngineMetrics,
+    ProcessPoolBackend,
+    SerialBackend,
+    configure_engine,
+    engine_context,
+    get_engine,
+)
 
 __all__ = [
+    "AcceptanceCache",
+    "EngineConfig",
+    "EngineMetrics",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "configure_engine",
+    "engine_context",
+    "get_engine",
     "__version__",
     "ReproError",
     "InvalidDistributionError",

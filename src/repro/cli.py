@@ -50,6 +50,45 @@ TESTER_CHOICES = ("centralized", "threshold", "and")
 INPUT_CHOICES = ("uniform", "two_level", "paninski", "zipf", "heavy_hitter")
 
 
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Monte Carlo engine flags shared by the execution commands."""
+    group = parser.add_argument_group("engine")
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="parallel worker processes (0/1 = serial)",
+    )
+    group.add_argument(
+        "--chunk-elements",
+        type=int,
+        default=None,
+        help="max sample-tensor elements per execution tile",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk acceptance-curve cache",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the acceptance cache even if --cache-dir is set",
+    )
+
+
+def _apply_engine_options(args: argparse.Namespace):
+    """Install the engine configuration requested by the CLI flags."""
+    from .engine import configure_engine
+
+    cache_dir = None if getattr(args, "no_cache", False) else getattr(args, "cache_dir", None)
+    return configure_engine(
+        workers=getattr(args, "workers", 0),
+        max_elements=getattr(args, "chunk_elements", None),
+        cache_dir=cache_dir,
+    )
+
+
 def _build_tester(name: str, n: int, epsilon: float, k: int, q: Optional[int]) -> UniformityTester:
     if name == "centralized":
         return CentralizedCollisionTester(n, epsilon, q=q)
@@ -75,6 +114,7 @@ def _build_input(name: str, n: int, epsilon: float, seed: int) -> DiscreteDistri
 
 
 def _cmd_test(args: argparse.Namespace) -> int:
+    config = _apply_engine_options(args)
     tester = _build_tester(args.tester, args.n, args.eps, args.k, args.q)
     distribution = _build_input(args.input, args.n, args.eps, args.seed)
     resources = tester.resources
@@ -85,11 +125,13 @@ def _cmd_test(args: argparse.Namespace) -> int:
     )
     rate = tester.acceptance_probability(distribution, args.trials, args.seed)
     print(f"input:   {args.input} (n={args.n}, eps={args.eps})")
+    print(f"engine:  backend={config.backend.name} {config.metrics.summary_line()}")
     print(f"P[accept] over {args.trials} runs: {rate:.3f}")
     return 0
 
 
 def _cmd_complexity(args: argparse.Namespace) -> int:
+    config = _apply_engine_options(args)
     result = empirical_sample_complexity(
         lambda q: _build_tester(args.tester, args.n, args.eps, args.k, q),
         n=args.n,
@@ -105,12 +147,14 @@ def _cmd_complexity(args: argparse.Namespace) -> int:
 
     levels = sorted(result.curve)
     print(success_curve_plot(levels, [result.curve[q] for q in levels]))
+    print(f"engine: backend={config.backend.name} {config.metrics.summary_line()}")
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import run_experiment
 
+    _apply_engine_options(args)
     result = run_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
     print(result.render())
     return 0
@@ -154,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
     test.add_argument("--q", type=int, default=None)
     test.add_argument("--trials", type=int, default=300)
     test.add_argument("--seed", type=int, default=0)
+    _add_engine_options(test)
     test.set_defaults(func=_cmd_test)
 
     complexity = sub.add_parser("complexity", help="search empirical q*")
@@ -163,12 +208,14 @@ def build_parser() -> argparse.ArgumentParser:
     complexity.add_argument("--eps", type=float, default=0.5)
     complexity.add_argument("--trials", type=int, default=200)
     complexity.add_argument("--seed", type=int, default=0)
+    _add_engine_options(complexity)
     complexity.set_defaults(func=_cmd_complexity)
 
     experiment = sub.add_parser("experiment", help="run a registered experiment")
     experiment.add_argument("experiment_id", help="e01 ... e17")
     experiment.add_argument("--scale", choices=("small", "paper"), default="small")
     experiment.add_argument("--seed", type=int, default=0)
+    _add_engine_options(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     bounds = sub.add_parser("bounds", help="print the paper's lower bounds")

@@ -23,6 +23,7 @@ All strategies implement a vectorised ``respond_batch`` over a
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from typing import Sequence, Tuple
 
@@ -33,18 +34,52 @@ from ..exceptions import InvalidParameterError
 from ..rng import RngLike, ensure_rng
 
 
-def collision_counts(samples: np.ndarray) -> np.ndarray:
-    """Pairwise collision count per row of a (rows × q) sample matrix.
-
-    For a row with value counts ``c_v`` the count is ``Σ_v C(c_v, 2)`` — the
-    number of unordered sample pairs that coincide.  Computed by sorting
-    each row and accumulating run lengths, fully vectorised across rows.
-    """
+def _validate_sample_matrix(samples: np.ndarray) -> np.ndarray:
     matrix = np.asarray(samples, dtype=np.int64)
     if matrix.ndim == 1:
         matrix = matrix[np.newaxis, :]
     if matrix.ndim != 2:
         raise InvalidParameterError(f"samples must be 1-d or 2-d, got ndim={matrix.ndim}")
+    return matrix
+
+
+def collision_counts(samples: np.ndarray) -> np.ndarray:
+    """Pairwise collision count per row of a (rows × q) sample matrix.
+
+    For a row with value counts ``c_v`` the count is ``Σ_v C(c_v, 2)`` — the
+    number of unordered sample pairs that coincide.  Pure NumPy: rows are
+    sorted, run boundaries located on the flattened matrix (every row
+    start forced to be a boundary), and ``C(run_len, 2)`` accumulated back
+    to rows with ``add.reduceat`` — no per-column Python loop.
+    """
+    matrix = _validate_sample_matrix(samples)
+    rows, q = matrix.shape
+    if q < 2:
+        return np.zeros(rows, dtype=np.int64)
+    ordered = np.sort(matrix, axis=1)
+    flat = ordered.ravel()
+    boundary = np.empty(flat.size, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = flat[1:] != flat[:-1]
+    boundary[::q] = True  # a run never crosses a row edge
+    starts = np.flatnonzero(boundary)
+    run_lengths = np.diff(np.append(starts, flat.size))
+    pairs = run_lengths * (run_lengths - 1) // 2
+    # First run of each row: row starts are always boundaries, so the
+    # search hits them exactly.
+    first_run = np.searchsorted(starts, np.arange(rows, dtype=np.int64) * q)
+    return np.add.reduceat(pairs, first_run).astype(np.int64)
+
+
+def collision_counts_reference(samples: np.ndarray) -> np.ndarray:
+    """Reference oracle for :func:`collision_counts` (per-column loop).
+
+    The original implementation, kept for differential testing: walks the
+    sorted rows column by column accumulating the position within each
+    run.  Semantically identical to :func:`collision_counts`, quadratic
+    Python overhead in q.
+    """
+    matrix = _validate_sample_matrix(samples)
     rows, q = matrix.shape
     if q < 2:
         return np.zeros(rows, dtype=np.int64)
@@ -73,20 +108,26 @@ def unique_counts(samples: np.ndarray) -> np.ndarray:
 
 
 def birthday_no_collision_probability(n: int, q: int) -> float:
-    """P[no collision among q uniform samples] = ∏_{i<q} (1 - i/n), exactly.
+    """P[no collision among q uniform samples] = ∏_{i<q} (1 - i/n).
 
-    This closed form lets the threshold-rule tester calibrate its referee
-    without Monte Carlo: under U_n the "collision bit" rejects with
-    probability exactly ``1 - birthday_no_collision_probability(n, q)``.
+    Evaluated in log-space as ``exp(lgamma(n+1) − lgamma(n−q+1) −
+    q·ln n)`` — the falling factorial ``n!/(n−q)!`` over ``n^q`` — so
+    large (n, q) neither underflow to zero prematurely nor pay a Python
+    product loop.  The closed form lets the threshold-rule tester
+    calibrate its referee without Monte Carlo: under U_n the "collision
+    bit" rejects with probability exactly ``1 -
+    birthday_no_collision_probability(n, q)``.
     """
     if n < 1 or q < 0:
         raise InvalidParameterError(f"need n >= 1 and q >= 0, got n={n}, q={q}")
     if q > n:
         return 0.0
-    probability = 1.0
-    for i in range(1, q):
-        probability *= 1.0 - i / n
-    return probability
+    if q <= 1:
+        return 1.0
+    log_probability = (
+        math.lgamma(n + 1) - math.lgamma(n - q + 1) - q * math.log(n)
+    )
+    return math.exp(log_probability)
 
 
 class PlayerStrategy(ABC):

@@ -162,26 +162,17 @@ class SimultaneousProtocol:
     ) -> np.ndarray:
         """Boolean accept vector over ``trials`` independent executions.
 
-        The homogeneous fast path draws a single (trials·k × q) sample
-        matrix and responds in one vectorised call; heterogeneous protocols
-        fall back to a per-player loop that is still vectorised over trials.
+        Execution is delegated to the Monte Carlo engine
+        (:func:`repro.engine.monte_carlo_bits`): trials are cut into
+        memory-bounded tiles with per-block spawned generators, so the
+        result is bit-identical across backends and tile sizes, and the
+        full ``trials·k × q`` sample tensor never has to fit in RAM.
         """
         if trials < 1:
             raise InvalidParameterError(f"trials must be >= 1, got {trials}")
-        generator = ensure_rng(rng)
-        k = self.num_players
-        if self.is_homogeneous:
-            strategy = self.players[0].strategy
-            q = self.players[0].num_samples
-            samples = distribution.sample_matrix(trials * k, q, generator)
-            bits = strategy.respond_batch(samples, generator).reshape(trials, k)
-        else:
-            bits = np.empty((trials, k), dtype=np.int64)
-            for index, player in enumerate(self.players):
-                samples = distribution.sample_matrix(
-                    trials, player.num_samples, generator
-                )
-                bits[:, index] = player.strategy.respond_batch(samples, generator)
+        from ..engine import monte_carlo_bits
+
+        bits = monte_carlo_bits(self, distribution, trials, rng)
         return self.referee.decide_batch(bits)
 
     def acceptance_probability(
@@ -196,24 +187,14 @@ class SimultaneousProtocol:
         """Per-player empirical P[bit = 1] — the ν(G_j) of Section 4.
 
         Used by the divergence-accounting experiments (E12) to measure how
-        much information each player's bit actually carries.
+        much information each player's bit actually carries.  Shares the
+        engine execution path with :meth:`run_batch`.
         """
         if trials < 1:
             raise InvalidParameterError(f"trials must be >= 1, got {trials}")
-        generator = ensure_rng(rng)
-        k = self.num_players
-        if self.is_homogeneous:
-            strategy = self.players[0].strategy
-            q = self.players[0].num_samples
-            samples = distribution.sample_matrix(trials * k, q, generator)
-            bits = strategy.respond_batch(samples, generator).reshape(trials, k)
-        else:
-            bits = np.empty((trials, k), dtype=np.int64)
-            for index, player in enumerate(self.players):
-                samples = distribution.sample_matrix(
-                    trials, player.num_samples, generator
-                )
-                bits[:, index] = player.strategy.respond_batch(samples, generator)
+        from ..engine import monte_carlo_bits
+
+        bits = monte_carlo_bits(self, distribution, trials, rng)
         return bits.mean(axis=0)
 
     def __repr__(self) -> str:

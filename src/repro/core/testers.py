@@ -210,12 +210,20 @@ class CentralizedCollisionTester(UniformityTester):
         pairs = self.q * (self.q - 1) / 2.0
         self.collision_threshold = pairs * (1.0 + self.epsilon**2 / 2.0) / self.n
 
-    def accept_batch(
+    def accept_block(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
+        """Single-tile kernel: one (trials × q) sample matrix, thresholded."""
         generator = ensure_rng(rng)
         samples = distribution.sample_matrix(trials, self.q, generator)
         return collision_counts(samples) <= self.collision_threshold
+
+    def accept_batch(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        from ..engine import chunked_accepts
+
+        return chunked_accepts(self, distribution, trials, rng)
 
     @property
     def resources(self) -> TesterResources:
@@ -482,6 +490,14 @@ class PairwiseHashTester(UniformityTester):
     def accept_batch(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
+        from ..engine import chunked_accepts
+
+        return chunked_accepts(self, distribution, trials, rng)
+
+    def accept_block(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Single-tile kernel (per-trial hash resampling loop)."""
         generator = ensure_rng(rng)
         accepts = np.empty(trials, dtype=bool)
         group_size = self.group_size
@@ -552,6 +568,14 @@ class SimulationTester(UniformityTester):
     def accept_batch(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
+        from ..engine import chunked_accepts
+
+        return chunked_accepts(self, distribution, trials, rng)
+
+    def accept_block(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Single-tile kernel: sample, guess, collect hits, test collisions."""
         generator = ensure_rng(rng)
         accepts = np.empty(trials, dtype=bool)
         samples = distribution.sample_matrix(trials, self.k, generator)

@@ -239,6 +239,24 @@ class DiscreteDistribution:
             raise InvalidDistributionError("conditioning event has probability zero")
         return DiscreteDistribution(restricted, normalize=True)
 
+    def padded_to(self, n: int) -> "DiscreteDistribution":
+        """Embed into the larger domain ``{0, ..., n-1}`` with zero mass.
+
+        The appended elements carry no probability, so sampling draws are
+        bit-identical to the unpadded distribution's — only the domain
+        label changes.  Used to align adversarial instances built on an
+        even sub-domain with a tester whose universe size is odd.
+        """
+        if n < self.n:
+            raise InvalidParameterError(
+                f"cannot pad a distribution on {self.n} outcomes down to {n}"
+            )
+        if n == self.n:
+            return self
+        return DiscreteDistribution(
+            np.concatenate([self._pmf, np.zeros(n - self.n)])
+        )
+
     def tensor_power(self, q: int) -> "DiscreteDistribution":
         """The distribution of ``q`` iid samples, on domain ``n**q``.
 

@@ -1,0 +1,64 @@
+"""The shared Monte Carlo execution engine.
+
+Backends (serial / process pool), chunked streaming, the on-disk
+acceptance-curve cache and per-run metrics — see ``docs/performance.md``
+for the architecture tour.
+"""
+
+from .backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+from .cache import (
+    AcceptanceCache,
+    distribution_fingerprint,
+    probe_key,
+    tester_fingerprint,
+)
+from .chunking import RNG_BLOCK_TRIALS, Block, plan_blocks, plan_tiles
+from .config import (
+    DEFAULT_MAX_ELEMENTS,
+    EngineConfig,
+    configure_engine,
+    engine_context,
+    get_engine,
+    set_engine,
+)
+from .executor import (
+    block_seed,
+    cached_acceptance_rate,
+    chunked_accepts,
+    derive_root_entropy,
+    monte_carlo_bits,
+)
+from .metrics import EngineMetrics, collect_metrics
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "AcceptanceCache",
+    "distribution_fingerprint",
+    "tester_fingerprint",
+    "probe_key",
+    "Block",
+    "RNG_BLOCK_TRIALS",
+    "plan_blocks",
+    "plan_tiles",
+    "EngineConfig",
+    "DEFAULT_MAX_ELEMENTS",
+    "configure_engine",
+    "engine_context",
+    "get_engine",
+    "set_engine",
+    "monte_carlo_bits",
+    "chunked_accepts",
+    "cached_acceptance_rate",
+    "block_seed",
+    "derive_root_entropy",
+    "EngineMetrics",
+    "collect_metrics",
+]

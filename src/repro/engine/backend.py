@@ -1,0 +1,116 @@
+"""Execution backends: one ``map_tasks`` interface, serial or parallel.
+
+A backend runs a list of picklable ``(fn, args)`` tasks and returns their
+results **in submission order**.  Determinism is owned by the caller: every
+task carries its own :class:`numpy.random.SeedSequence`-derived seed, so a
+task's result is independent of which backend (or worker) executes it and
+of how tasks are interleaved.
+
+``SerialBackend`` runs tasks inline; ``ProcessPoolBackend`` fans them out
+over a lazily created :class:`concurrent.futures.ProcessPoolExecutor`.
+Worker processes import the library fresh and therefore see the *default*
+engine configuration (serial, no cache) — nested engine calls inside a
+worker never spawn a second pool.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..exceptions import InvalidParameterError
+
+#: A task is a positional-argument tuple for the mapped function.
+TaskArgs = Tuple[Any, ...]
+
+
+class ExecutionBackend(ABC):
+    """Strategy interface for running independent Monte Carlo tasks."""
+
+    #: Short name used in CLI output and benchmark records.
+    name: str = "backend"
+
+    @abstractmethod
+    def map_tasks(
+        self, fn: Callable[..., Any], tasks: Sequence[TaskArgs]
+    ) -> List[Any]:
+        """Run ``fn(*args)`` for every args-tuple, preserving order."""
+
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline on the calling thread."""
+
+    name = "serial"
+
+    def map_tasks(
+        self, fn: Callable[..., Any], tasks: Sequence[TaskArgs]
+    ) -> List[Any]:
+        return [fn(*args) for args in tasks]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan tasks out over a process pool (stdlib ``concurrent.futures``).
+
+    Parameters
+    ----------
+    max_workers:
+        Pool width; defaults to ``os.cpu_count()``.  The pool is created
+        on first use and kept alive for the lifetime of the backend so
+        repeated ``map_tasks`` calls amortise worker start-up.
+
+    Single-task calls short-circuit to inline execution — there is no
+    point paying pickling latency for one tile.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise InvalidParameterError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self._executor = None
+
+    def _pool(self):
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def map_tasks(
+        self, fn: Callable[..., Any], tasks: Sequence[TaskArgs]
+    ) -> List[Any]:
+        if len(tasks) <= 1:
+            return [fn(*args) for args in tasks]
+        futures = [self._pool().submit(fn, *args) for args in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __del__(self):  # best-effort cleanup; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolBackend(max_workers={self.max_workers})"
+
+
+def make_backend(workers: Optional[int]) -> ExecutionBackend:
+    """CLI-flag semantics: ``None``/``0``/``1`` → serial, else a pool."""
+    if workers is None or workers <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(max_workers=workers)

@@ -1,0 +1,173 @@
+"""On-disk acceptance-curve cache.
+
+``empirical_sample_complexity`` probes the same (tester, distribution,
+trials, seed) points over and over — bisection revisits levels, experiment
+re-runs repeat whole curves.  Every probe is a pure function of its
+fingerprint, so the engine memoises the estimated acceptance rate in one
+small JSON file per probe under a content-addressed name.
+
+Keys combine:
+
+* a **tester fingerprint** — class name plus every primitive constructor
+  outcome (thresholds, k, q, ...) and, for protocol-backed testers, the
+  player/referee description;
+* a **distribution fingerprint** — SHA-256 of the exact pmf bytes;
+* the trial count and the derived seed identity
+  ``(entropy, spawn_key)`` of the probe's :class:`numpy.random.
+  SeedSequence`.
+
+Entries store the acceptance *rate* (the quantity every search consumes),
+keeping the cache a few hundred bytes per probe even for million-trial
+runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+#: Bump when the cached payload or key layout changes incompatibly.
+CACHE_VERSION = 1
+
+
+def distribution_fingerprint(distribution) -> str:
+    """Content hash of a :class:`DiscreteDistribution`'s exact pmf."""
+    digest = hashlib.sha256(np.ascontiguousarray(distribution.pmf).tobytes())
+    return f"n{distribution.n}-{digest.hexdigest()[:24]}"
+
+
+def _primitive_items(obj: Any) -> Dict[str, Any]:
+    items: Dict[str, Any] = {}
+    for key, value in sorted(vars(obj).items()):
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            items[key] = value
+        elif isinstance(value, (np.integer, np.floating)):
+            items[key] = value.item()
+    return items
+
+
+def protocol_fingerprint(protocol) -> Dict[str, Any]:
+    """Stable description of a :class:`SimultaneousProtocol`."""
+    players = [
+        {"strategy": player.strategy.name, "q": player.num_samples}
+        for player in protocol.players
+    ]
+    return {
+        "players": players,
+        "referee": {
+            "name": protocol.referee.name,
+            **_primitive_items(protocol.referee),
+        },
+    }
+
+
+def tester_fingerprint(tester) -> Dict[str, Any]:
+    """Stable description of a tester (or raw protocol) configuration."""
+    parts: Dict[str, Any] = {"class": type(tester).__name__}
+    if hasattr(tester, "players") and hasattr(tester, "referee"):
+        parts.update(protocol_fingerprint(tester))
+        return parts
+    parts.update(_primitive_items(tester))
+    protocol = getattr(tester, "_protocol", None)
+    if protocol is not None:
+        parts["protocol"] = protocol_fingerprint(protocol)
+    return parts
+
+
+def seed_fingerprint(seed: np.random.SeedSequence) -> str:
+    """Identity of a derived seed: root entropy plus spawn key."""
+    return f"{seed.entropy}:{','.join(str(k) for k in seed.spawn_key)}"
+
+
+def probe_key(
+    tester,
+    distribution,
+    trials: int,
+    seed: np.random.SeedSequence,
+) -> Dict[str, Any]:
+    """The full cache key for one acceptance-rate probe."""
+    return {
+        "version": CACHE_VERSION,
+        "tester": tester_fingerprint(tester),
+        "distribution": distribution_fingerprint(distribution),
+        "trials": int(trials),
+        "seed": seed_fingerprint(seed),
+    }
+
+
+class AcceptanceCache:
+    """A directory of content-addressed acceptance-rate memo files."""
+
+    def __init__(self, cache_dir: str):
+        if not cache_dir:
+            raise InvalidParameterError("cache_dir must be a non-empty path")
+        self.cache_dir = os.path.abspath(cache_dir)
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+        except OSError as error:
+            raise InvalidParameterError(
+                f"cache_dir {self.cache_dir!r} is not a usable directory: {error}"
+            ) from error
+
+    def _path(self, key: Dict[str, Any]) -> str:
+        canonical = json.dumps(key, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return os.path.join(self.cache_dir, f"accept-{digest[:40]}.json")
+
+    def get_rate(self, key: Dict[str, Any]) -> Optional[float]:
+        """The memoised acceptance rate, or ``None`` on a miss.
+
+        Corrupt or stale-format entries read as misses and are
+        overwritten by the next ``put_rate``.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("key", {}).get("version") != CACHE_VERSION:
+            return None
+        rate = payload.get("rate")
+        return float(rate) if isinstance(rate, (int, float)) else None
+
+    def put_rate(self, key: Dict[str, Any], rate: float) -> str:
+        """Persist one probe result; returns the entry path.
+
+        The write goes through a same-directory temp file + rename so
+        concurrent processes never observe a torn entry.
+        """
+        path = self._path(key)
+        payload = {"key": key, "rate": float(rate)}
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        return len(
+            [
+                name
+                for name in os.listdir(self.cache_dir)
+                if name.startswith("accept-") and name.endswith(".json")
+            ]
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for name in os.listdir(self.cache_dir):
+            if name.startswith("accept-") and name.endswith(".json"):
+                os.remove(os.path.join(self.cache_dir, name))
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"AcceptanceCache({self.cache_dir!r}, entries={len(self)})"

@@ -1,0 +1,170 @@
+"""The shared Monte Carlo execution layer.
+
+All batched protocol/tester execution funnels through here:
+
+* :func:`monte_carlo_bits` — the (trials × k) player-bit matrix of a
+  :class:`~repro.core.protocol.SimultaneousProtocol`, computed in
+  memory-bounded tiles on the active backend;
+* :func:`chunked_accepts` — the boolean accept vector of any tester that
+  implements ``accept_block`` (a plain single-tile kernel);
+* :func:`cached_acceptance_rate` — a cache-aware acceptance-probability
+  probe used by the empirical complexity searches.
+
+Determinism contract
+--------------------
+Every batch derives one **root entropy** from its ``rng`` argument
+(an integer seed is used verbatim; a generator is asked for one 63-bit
+draw).  Trials are cut into fixed-size RNG blocks
+(:data:`~repro.engine.chunking.RNG_BLOCK_TRIALS`), and block ``b`` is
+always computed with ``default_rng(SeedSequence(root, spawn_key=(b,)))``.
+Because the spawn key depends only on the block index, the concatenated
+result is bit-identical across backends, worker counts and tile sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..rng import RngLike, ensure_rng
+from .chunking import Block, plan_blocks, plan_tiles
+from .config import get_engine
+
+
+def derive_root_entropy(rng: RngLike) -> int:
+    """One integer that seeds the whole batch.
+
+    Integer seeds pass through unchanged (so equal seeds give equal
+    batches and stable cache keys); generators contribute one draw, which
+    keeps successive batches on a shared generator independent.
+    """
+    if isinstance(rng, (int, np.integer)) and not isinstance(rng, bool):
+        return int(rng)
+    generator = ensure_rng(rng)
+    return int(generator.integers(0, 2**63 - 1))
+
+
+def block_seed(root_entropy: int, block_index: int) -> np.random.SeedSequence:
+    """The spawned seed owning RNG block ``block_index``."""
+    return np.random.SeedSequence(entropy=root_entropy, spawn_key=(block_index,))
+
+
+def _protocol_bits_tile(
+    protocol, distribution, tile: Sequence[Block], root_entropy: int
+) -> np.ndarray:
+    """Player-bit matrix for one tile (module-level: must pickle)."""
+    k = protocol.num_players
+    pieces: List[np.ndarray] = []
+    for block in tile:
+        generator = np.random.default_rng(block_seed(root_entropy, block.index))
+        if protocol.is_homogeneous:
+            strategy = protocol.players[0].strategy
+            q = protocol.players[0].num_samples
+            samples = distribution.sample_matrix(block.trials * k, q, generator)
+            bits = strategy.respond_batch(samples, generator).reshape(
+                block.trials, k
+            )
+        else:
+            bits = np.empty((block.trials, k), dtype=np.int64)
+            for index, player in enumerate(protocol.players):
+                samples = distribution.sample_matrix(
+                    block.trials, player.num_samples, generator
+                )
+                bits[:, index] = player.strategy.respond_batch(samples, generator)
+        pieces.append(bits)
+    return pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=0)
+
+
+def _accepts_tile(
+    runner, distribution, tile: Sequence[Block], root_entropy: int
+) -> np.ndarray:
+    """Accept vector for one tile of an ``accept_block`` runner."""
+    pieces: List[np.ndarray] = []
+    for block in tile:
+        generator = np.random.default_rng(block_seed(root_entropy, block.index))
+        pieces.append(
+            np.asarray(runner.accept_block(distribution, block.trials, generator))
+        )
+    return pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+
+
+def _dispatch(task_fn, owner, distribution, trials, rng, elements_per_trial):
+    """Shared plan → map → concatenate path for both execution kinds."""
+    config = get_engine()
+    metrics = config.metrics
+    root_entropy = derive_root_entropy(rng)
+    blocks = plan_blocks(trials)
+    tiles = plan_tiles(blocks, elements_per_trial, config.max_elements)
+    tasks = [(owner, distribution, tile, root_entropy) for tile in tiles]
+    with metrics.timed():
+        results = config.backend.map_tasks(task_fn, tasks)
+    metrics.count("protocol_trials", trials)
+    metrics.count("samples_drawn", trials * elements_per_trial)
+    metrics.count("tiles_executed", len(tiles))
+    metrics.count("rng_blocks", len(blocks))
+    return results[0] if len(results) == 1 else np.concatenate(results)
+
+
+def monte_carlo_bits(
+    protocol, distribution, trials: int, rng: RngLike = None
+) -> np.ndarray:
+    """(trials × k) player-bit matrix, tiled over the active backend."""
+    return _dispatch(
+        _protocol_bits_tile,
+        protocol,
+        distribution,
+        trials,
+        rng,
+        protocol.total_samples,
+    )
+
+
+def chunked_accepts(
+    runner, distribution, trials: int, rng: RngLike = None
+) -> np.ndarray:
+    """Boolean accept vector of an ``accept_block`` runner, tiled.
+
+    ``runner`` must expose ``accept_block(distribution, trials,
+    generator)`` — the single-tile kernel — and a ``resources`` record
+    whose ``total_samples`` sizes the tiles.  The runner is shipped to
+    workers whole, so it must be picklable.
+    """
+    return _dispatch(
+        _accepts_tile,
+        runner,
+        distribution,
+        trials,
+        rng,
+        runner.resources.total_samples,
+    )
+
+
+def cached_acceptance_rate(
+    tester, distribution, trials: int, seed: np.random.SeedSequence
+) -> float:
+    """P[accept] for one probe, memoised in the active acceptance cache.
+
+    The probe is a pure function of ``(tester config, distribution, trials,
+    seed identity)``; with a warm cache it performs **zero** protocol
+    executions, which the :mod:`~repro.engine.metrics` counters make
+    observable.
+    """
+    from .cache import probe_key
+
+    config = get_engine()
+    metrics = config.metrics
+    key = None
+    if config.cache is not None:
+        key = probe_key(tester, distribution, trials, seed)
+        cached = config.cache.get_rate(key)
+        if cached is not None:
+            metrics.count("cache_hits")
+            return cached
+        metrics.count("cache_misses")
+    rate = float(
+        tester.acceptance_probability(distribution, trials, np.random.default_rng(seed))
+    )
+    if config.cache is not None and key is not None:
+        config.cache.put_rate(key, rate)
+    return rate

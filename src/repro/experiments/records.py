@@ -26,6 +26,10 @@ class ExperimentResult:
         verdicts.  Keys are free-form strings; values printable.
     notes:
         Caveats and methodology remarks recorded at run time.
+    metrics:
+        Engine instrumentation for the run (samples drawn, tiles
+        executed, cache hits, wall time) — attached by the registry, see
+        :mod:`repro.engine.metrics`.
     """
 
     experiment_id: str
@@ -33,6 +37,7 @@ class ExperimentResult:
     rows: List[Dict[str, Any]] = field(default_factory=list)
     summary: Dict[str, Any] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, **fields: Any) -> None:
         """Append one table row."""
@@ -55,6 +60,7 @@ class ExperimentResult:
             "rows": [_jsonable(row) for row in self.rows],
             "summary": _jsonable(self.summary),
             "notes": list(self.notes),
+            "metrics": _jsonable(self.metrics),
         }
         return json.dumps(payload, indent=2)
 
@@ -74,6 +80,7 @@ class ExperimentResult:
             rows=list(payload.get("rows", [])),
             summary=dict(payload.get("summary", {})),
             notes=list(payload.get("notes", [])),
+            metrics=dict(payload.get("metrics", {})),
         )
 
     def render(self) -> str:
@@ -87,6 +94,10 @@ class ExperimentResult:
                 lines.append(f"  {key}: {_format_value(value)}")
         for note in self.notes:
             lines.append(f"  note: {note}")
+        if self.metrics and any(self.metrics.values()):
+            lines.append("-- engine metrics --")
+            for key, value in self.metrics.items():
+                lines.append(f"  {key}: {_format_value(value)}")
         return "\n".join(lines)
 
 

@@ -60,10 +60,20 @@ def experiment_ids() -> List[str]:
 def run_experiment(
     experiment_id: str, scale: str = "small", seed: int = 0
 ) -> ExperimentResult:
-    """Run one experiment by id (``"e01"`` ... ``"e12"``)."""
+    """Run one experiment by id (``"e01"`` ... ``"e19"``).
+
+    The run executes inside a fresh engine-metrics scope; the collected
+    counters (samples drawn, tiles executed, cache hits, wall time) are
+    attached to the returned result's ``metrics`` field.
+    """
+    from ..engine import collect_metrics
+
     key = experiment_id.lower()
     if key not in EXPERIMENTS:
         raise InvalidParameterError(
             f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
         )
-    return EXPERIMENTS[key](scale=scale, seed=seed)
+    with collect_metrics() as metrics:
+        result = EXPERIMENTS[key](scale=scale, seed=seed)
+    result.metrics = metrics.snapshot()
+    return result

@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..distributions.discrete import DiscreteDistribution, uniform
 from ..distributions.families import PaninskiFamily
 from ..exceptions import InvalidParameterError, SearchDivergedError
@@ -69,17 +71,98 @@ def success_at(
     return success
 
 
+def adversarial_domain(n: int) -> int:
+    """The even sub-domain the hard-instance constructions live on.
+
+    The Paninski family and the two-level distribution pair up domain
+    elements, so they require an even universe.  For odd ``n`` they are
+    built on ``n - 1`` outcomes; callers must embed them back into the
+    tester's full ``n``-element domain (zero mass on the last element)
+    so tester and alternatives agree on the universe size.
+    """
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+    return n - (n % 2)
+
+
 def default_far_distributions(
     n: int, epsilon: float, rng: RngLike = None, num_paninski: int = 2
 ) -> List[DiscreteDistribution]:
-    """The default adversarial set: random Paninski members + two-level."""
+    """The default adversarial set: random Paninski members + two-level.
+
+    Every returned distribution lives on the **full** ``n``-element
+    domain.  For odd ``n`` the pair-based constructions are built on the
+    even sub-domain :func:`adversarial_domain` and explicitly padded back
+    to ``n`` with a zero-mass element (identical sampling draws, matching
+    domain) — previously the domain silently shrank to ``n - 1`` while
+    the tester kept ``n``.
+    """
     from ..distributions.generators import two_level_distribution
 
     generator = ensure_rng(rng)
-    family = PaninskiFamily(n if n % 2 == 0 else n - 1, epsilon)
-    members = [family.sample_distribution(generator) for _ in range(num_paninski)]
-    members.append(two_level_distribution(n if n % 2 == 0 else n - 1, epsilon))
+    even_n = adversarial_domain(n)
+    family = PaninskiFamily(even_n, epsilon)
+    members = [
+        family.sample_distribution(generator).padded_to(n)
+        for _ in range(num_paninski)
+    ]
+    members.append(two_level_distribution(even_n, epsilon).padded_to(n))
     return members
+
+
+def _seeded_success(
+    tester,
+    alternatives: Sequence[DiscreteDistribution],
+    trials: int,
+    root_entropy: int,
+    level: int,
+) -> float:
+    """Cache-aware success evaluation at one resource level.
+
+    Each (level, side) probe gets its own seed derived from the search's
+    root entropy via ``SeedSequence(root, spawn_key=(1, level, side))``,
+    which makes every probe a pure function of its inputs — the engine's
+    acceptance cache can then memoise it across bisection revisits and
+    whole re-runs, and results are bit-identical across backends and
+    chunk sizes.
+    """
+    from ..engine import cached_acceptance_rate
+
+    def probe_seed(side: int) -> np.random.SeedSequence:
+        return np.random.SeedSequence(entropy=root_entropy, spawn_key=(1, level, side))
+
+    success = cached_acceptance_rate(
+        tester, uniform(tester.n), trials, probe_seed(0)
+    )
+    for index, far in enumerate(alternatives):
+        rate = cached_acceptance_rate(tester, far, trials, probe_seed(index + 1))
+        success = min(success, 1.0 - rate)
+    return success
+
+
+def _search_inputs(
+    rng: RngLike,
+    n: int,
+    epsilon: float,
+    far_distributions: Optional[Sequence[DiscreteDistribution]],
+) -> tuple:
+    """(root_entropy, alternatives) shared by the resource searches.
+
+    The adversarial set is drawn from a generator spawned off the root
+    entropy (``spawn_key=(0,)``), so the whole search — alternatives
+    included — is a deterministic function of one integer.
+    """
+    from ..engine import derive_root_entropy
+
+    root_entropy = derive_root_entropy(rng)
+    if far_distributions is not None:
+        alternatives = list(far_distributions)
+    else:
+        alt_rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=root_entropy, spawn_key=(0,))
+        )
+        alternatives = default_far_distributions(n, epsilon, alt_rng)
+    return root_entropy, alternatives
 
 
 def _search(
@@ -158,17 +241,17 @@ def empirical_sample_complexity(
     resolution_factor:
         Stop refining once the bracket is within this multiplicative
         factor (scaling experiments only need exponents, not exact q*).
+
+    Every (q, distribution) probe runs under a seed derived from the
+    search's root entropy, so results are reproducible bit-for-bit across
+    engine backends and chunk sizes, and a warm acceptance cache replays
+    the whole search without a single protocol execution.
     """
-    generator = ensure_rng(rng)
-    alternatives = (
-        list(far_distributions)
-        if far_distributions is not None
-        else default_far_distributions(n, epsilon, generator)
-    )
+    root_entropy, alternatives = _search_inputs(rng, n, epsilon, far_distributions)
 
     def evaluate(q: int) -> float:
         tester = tester_factory(q)
-        return success_at(tester, alternatives, trials, generator)
+        return _seeded_success(tester, alternatives, trials, root_entropy, q)
 
     return _search(evaluate, target + margin, q_min, q_max, resolution_factor)
 
@@ -299,16 +382,11 @@ def empirical_player_complexity(
     ``level_rounding`` lets callers snap k to a valid value (e.g. even k
     for paired protocols) before the factory is invoked.
     """
-    generator = ensure_rng(rng)
-    alternatives = (
-        list(far_distributions)
-        if far_distributions is not None
-        else default_far_distributions(n, epsilon, generator)
-    )
+    root_entropy, alternatives = _search_inputs(rng, n, epsilon, far_distributions)
     rounding = level_rounding if level_rounding is not None else (lambda k: k)
 
     def evaluate(k: int) -> float:
         tester = tester_factory(rounding(k))
-        return success_at(tester, alternatives, trials, generator)
+        return _seeded_success(tester, alternatives, trials, root_entropy, k)
 
     return _search(evaluate, target + margin, k_min, k_max, resolution_factor)

@@ -1,0 +1,76 @@
+"""Tests for the execution backends and their map_tasks contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ProcessPoolBackend, SerialBackend, make_backend
+from repro.engine.backend import ExecutionBackend
+from repro.exceptions import InvalidParameterError
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise ValueError(f"boom {x}")
+
+
+class TestSerialBackend:
+    def test_order_preserved(self):
+        backend = SerialBackend()
+        assert backend.map_tasks(_square, [(3,), (1,), (2,)]) == [9, 1, 4]
+
+    def test_empty_task_list(self):
+        assert SerialBackend().map_tasks(_square, []) == []
+
+    def test_is_backend(self):
+        assert isinstance(SerialBackend(), ExecutionBackend)
+
+
+class TestProcessPoolBackend:
+    def test_order_preserved(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        try:
+            assert backend.map_tasks(_square, [(i,) for i in range(8)]) == [
+                i * i for i in range(8)
+            ]
+        finally:
+            backend.close()
+
+    def test_single_task_runs_inline(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        assert backend.map_tasks(_square, [(5,)]) == [25]
+        # No pool should have been created for the inline fast path.
+        assert backend._executor is None
+        backend.close()
+
+    def test_worker_exception_propagates(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        try:
+            with pytest.raises(ValueError, match="boom"):
+                backend.map_tasks(_fail, [(1,), (2,)])
+        finally:
+            backend.close()
+
+    def test_close_is_idempotent(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        backend.map_tasks(_square, [(1,), (2,)])
+        backend.close()
+        backend.close()
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(InvalidParameterError):
+            ProcessPoolBackend(max_workers=0)
+
+
+class TestMakeBackend:
+    @pytest.mark.parametrize("workers", [None, 0, 1])
+    def test_serial_for_trivial_widths(self, workers):
+        assert isinstance(make_backend(workers), SerialBackend)
+
+    def test_pool_for_wider(self):
+        backend = make_backend(3)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.max_workers == 3

@@ -1,0 +1,90 @@
+"""Regression tests: the default adversarial set on odd domains.
+
+``default_far_distributions`` used to build its pair-based members on
+``n - 1`` outcomes for odd ``n`` and return them as-is, so the search
+compared an ``n``-element tester against ``(n-1)``-element alternatives.
+The members are now explicitly padded back to the full domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.distributions import DiscreteDistribution
+from repro.exceptions import InvalidParameterError
+from repro.stats.complexity import adversarial_domain, default_far_distributions
+
+
+class TestAdversarialDomain:
+    @pytest.mark.parametrize("n,expected", [(2, 2), (3, 2), (100, 100), (101, 100)])
+    def test_largest_even_subdomain(self, n, expected):
+        assert adversarial_domain(n) == expected
+
+    def test_rejects_degenerate_domain(self):
+        with pytest.raises(InvalidParameterError):
+            adversarial_domain(1)
+
+
+class TestDefaultFarDistributionsOddN:
+    @pytest.mark.parametrize("n", [64, 65, 101, 7])
+    def test_members_live_on_full_domain(self, n):
+        members = default_far_distributions(n, 0.5, rng=0)
+        assert members
+        assert all(member.n == n for member in members)
+
+    @pytest.mark.parametrize("n", [65, 101])
+    def test_odd_n_pads_with_zero_mass_tail(self, n):
+        for member in default_far_distributions(n, 0.5, rng=0):
+            assert member.pmf[-1] == 0.0
+            assert member.pmf.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("n", [64, 65])
+    def test_members_remain_epsilon_far(self, n):
+        # Padding adds a zero-mass element the uniform distribution gives
+        # 1/n to, so ε-farness (in total variation, scaled) is preserved.
+        epsilon = 0.5
+        for member in default_far_distributions(n, epsilon, rng=0):
+            assert repro.is_epsilon_far_from_uniform(member, epsilon)
+
+    def test_odd_n_draws_match_even_subdomain_member(self):
+        """Padding must not change the sampling stream."""
+        n = 65
+        members_odd = default_far_distributions(n, 0.5, rng=12345)
+        members_even = default_far_distributions(n - 1, 0.5, rng=12345)
+        for padded, original in zip(members_odd, members_even):
+            a = padded.sample_matrix(20, 10, np.random.default_rng(7))
+            b = original.sample_matrix(20, 10, np.random.default_rng(7))
+            assert np.array_equal(a, b)
+
+    def test_search_accepts_odd_n_end_to_end(self):
+        result = repro.empirical_sample_complexity(
+            lambda q: repro.CentralizedCollisionTester(65, 0.5, q=q),
+            n=65,
+            epsilon=0.5,
+            trials=60,
+            rng=3,
+        )
+        assert result.resource_star >= 2
+
+
+class TestPaddedTo:
+    def test_identity_when_equal(self):
+        dist = repro.uniform(8)
+        assert dist.padded_to(8) is dist
+
+    def test_pads_with_zeros(self):
+        dist = repro.uniform(4).padded_to(7)
+        assert dist.n == 7
+        assert np.array_equal(dist.pmf[4:], np.zeros(3))
+        assert dist.pmf.sum() == pytest.approx(1.0)
+
+    def test_rejects_shrinking(self):
+        with pytest.raises(InvalidParameterError):
+            repro.uniform(8).padded_to(4)
+
+    def test_padded_samples_never_hit_zero_mass_tail(self):
+        dist = DiscreteDistribution(np.full(4, 0.25)).padded_to(10)
+        draws = dist.sample(5000, np.random.default_rng(0))
+        assert draws.max() < 4
