@@ -19,8 +19,6 @@ E19 regenerates the comparison.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..exceptions import InvalidParameterError

@@ -85,8 +85,9 @@ class PaninskiFamily:
 
     Examples
     --------
+    >>> import numpy as np
     >>> family = PaninskiFamily(n=8, epsilon=0.5)
-    >>> rng = __import__("numpy").random.default_rng(0)
+    >>> rng = np.random.default_rng(0)
     >>> dist = family.sample_distribution(rng)
     >>> float(round(sum(abs(p - 1/8) for p in dist.pmf), 10))
     0.5

@@ -17,9 +17,12 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
 
 from ..exceptions import InvalidParameterError
+
+if TYPE_CHECKING:
+    from concurrent.futures import ProcessPoolExecutor
 
 #: A task is a positional-argument tuple for the mapped function.
 TaskArgs = Tuple[Any, ...]
@@ -76,10 +79,10 @@ class ProcessPoolBackend(ExecutionBackend):
             raise InvalidParameterError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
-        self.max_workers = max_workers or os.cpu_count() or 1
-        self._executor = None
+        self.max_workers: int = max_workers or os.cpu_count() or 1
+        self._executor: Optional["ProcessPoolExecutor"] = None
 
-    def _pool(self):
+    def _pool(self) -> "ProcessPoolExecutor":
         if self._executor is None:
             from concurrent.futures import ProcessPoolExecutor
 
@@ -99,10 +102,14 @@ class ProcessPoolBackend(ExecutionBackend):
             self._executor.shutdown(wait=True)
             self._executor = None
 
-    def __del__(self):  # best-effort cleanup; close() is the real API
+    def __del__(self) -> None:  # best-effort cleanup; close() is the real API
         try:
             self.close()
-        except Exception:
+        except (OSError, RuntimeError):
+            # Interpreter teardown can have already reaped the pool's
+            # machinery (dead pipes, a shut-down executor).  Anything
+            # else — above all a worker task's own exception — must
+            # surface, not vanish inside __del__.
             pass
 
     def __repr__(self) -> str:

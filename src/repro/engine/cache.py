@@ -36,7 +36,7 @@ from ..exceptions import InvalidParameterError
 CACHE_VERSION = 1
 
 
-def distribution_fingerprint(distribution) -> str:
+def distribution_fingerprint(distribution: Any) -> str:
     """Content hash of a :class:`DiscreteDistribution`'s exact pmf."""
     digest = hashlib.sha256(np.ascontiguousarray(distribution.pmf).tobytes())
     return f"n{distribution.n}-{digest.hexdigest()[:24]}"
@@ -52,7 +52,7 @@ def _primitive_items(obj: Any) -> Dict[str, Any]:
     return items
 
 
-def protocol_fingerprint(protocol) -> Dict[str, Any]:
+def protocol_fingerprint(protocol: Any) -> Dict[str, Any]:
     """Stable description of a :class:`SimultaneousProtocol`."""
     players = [
         {"strategy": player.strategy.name, "q": player.num_samples}
@@ -67,7 +67,7 @@ def protocol_fingerprint(protocol) -> Dict[str, Any]:
     }
 
 
-def tester_fingerprint(tester) -> Dict[str, Any]:
+def tester_fingerprint(tester: Any) -> Dict[str, Any]:
     """Stable description of a tester (or raw protocol) configuration."""
     parts: Dict[str, Any] = {"class": type(tester).__name__}
     if hasattr(tester, "players") and hasattr(tester, "referee"):
@@ -86,8 +86,8 @@ def seed_fingerprint(seed: np.random.SeedSequence) -> str:
 
 
 def probe_key(
-    tester,
-    distribution,
+    tester: Any,
+    distribution: Any,
     trials: int,
     seed: np.random.SeedSequence,
 ) -> Dict[str, Any]:

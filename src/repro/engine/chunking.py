@@ -47,7 +47,7 @@ def plan_blocks(trials: int, block_trials: int = RNG_BLOCK_TRIALS) -> List[Block
         raise InvalidParameterError(
             f"block_trials must be >= 1, got {block_trials}"
         )
-    blocks = []
+    blocks: List[Block] = []
     start = 0
     index = 0
     while start < trials:

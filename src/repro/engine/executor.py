@@ -23,13 +23,20 @@ result is bit-identical across backends, worker counts and tile sizes.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Callable, List, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..rng import RngLike, ensure_rng
 from .chunking import Block, plan_blocks, plan_tiles
 from .config import get_engine
+
+#: Result arrays flowing through the engine (dtype varies by kernel).
+Array = npt.NDArray[Any]
+
+#: A tile kernel: (owner, distribution, tile, root_entropy) → array.
+TileKernel = Callable[[Any, Any, Sequence[Block], int], Array]
 
 
 def derive_root_entropy(rng: RngLike) -> int:
@@ -51,11 +58,11 @@ def block_seed(root_entropy: int, block_index: int) -> np.random.SeedSequence:
 
 
 def _protocol_bits_tile(
-    protocol, distribution, tile: Sequence[Block], root_entropy: int
-) -> np.ndarray:
+    protocol: Any, distribution: Any, tile: Sequence[Block], root_entropy: int
+) -> Array:
     """Player-bit matrix for one tile (module-level: must pickle)."""
     k = protocol.num_players
-    pieces: List[np.ndarray] = []
+    pieces: List[Array] = []
     for block in tile:
         generator = np.random.default_rng(block_seed(root_entropy, block.index))
         if protocol.is_homogeneous:
@@ -77,10 +84,10 @@ def _protocol_bits_tile(
 
 
 def _accepts_tile(
-    runner, distribution, tile: Sequence[Block], root_entropy: int
-) -> np.ndarray:
+    runner: Any, distribution: Any, tile: Sequence[Block], root_entropy: int
+) -> Array:
     """Accept vector for one tile of an ``accept_block`` runner."""
-    pieces: List[np.ndarray] = []
+    pieces: List[Array] = []
     for block in tile:
         generator = np.random.default_rng(block_seed(root_entropy, block.index))
         pieces.append(
@@ -89,7 +96,14 @@ def _accepts_tile(
     return pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
 
 
-def _dispatch(task_fn, owner, distribution, trials, rng, elements_per_trial):
+def _dispatch(
+    task_fn: TileKernel,
+    owner: Any,
+    distribution: Any,
+    trials: int,
+    rng: RngLike,
+    elements_per_trial: int,
+) -> Array:
     """Shared plan → map → concatenate path for both execution kinds."""
     config = get_engine()
     metrics = config.metrics
@@ -98,7 +112,7 @@ def _dispatch(task_fn, owner, distribution, trials, rng, elements_per_trial):
     tiles = plan_tiles(blocks, elements_per_trial, config.max_elements)
     tasks = [(owner, distribution, tile, root_entropy) for tile in tiles]
     with metrics.timed():
-        results = config.backend.map_tasks(task_fn, tasks)
+        results: List[Array] = config.backend.map_tasks(task_fn, tasks)
     metrics.count("protocol_trials", trials)
     metrics.count("samples_drawn", trials * elements_per_trial)
     metrics.count("tiles_executed", len(tiles))
@@ -107,8 +121,8 @@ def _dispatch(task_fn, owner, distribution, trials, rng, elements_per_trial):
 
 
 def monte_carlo_bits(
-    protocol, distribution, trials: int, rng: RngLike = None
-) -> np.ndarray:
+    protocol: Any, distribution: Any, trials: int, rng: RngLike = None
+) -> Array:
     """(trials × k) player-bit matrix, tiled over the active backend."""
     return _dispatch(
         _protocol_bits_tile,
@@ -121,8 +135,8 @@ def monte_carlo_bits(
 
 
 def chunked_accepts(
-    runner, distribution, trials: int, rng: RngLike = None
-) -> np.ndarray:
+    runner: Any, distribution: Any, trials: int, rng: RngLike = None
+) -> Array:
     """Boolean accept vector of an ``accept_block`` runner, tiled.
 
     ``runner`` must expose ``accept_block(distribution, trials,
@@ -141,7 +155,7 @@ def chunked_accepts(
 
 
 def cached_acceptance_rate(
-    tester, distribution, trials: int, seed: np.random.SeedSequence
+    tester: Any, distribution: Any, trials: int, seed: np.random.SeedSequence
 ) -> float:
     """P[accept] for one probe, memoised in the active acceptance cache.
 

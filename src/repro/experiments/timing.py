@@ -1,0 +1,52 @@
+"""Injectable monotonic timing for report generation.
+
+This is one of the two modules allowlisted by the wall-clock lint rule
+(RL201): everything else must *inject* a clock rather than read one, so
+timing never leaks into computation paths or cache keys.  The default
+clock is :func:`time.perf_counter` — monotonic, high-resolution, and
+unaffected by system clock changes (unlike ``time.time``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+#: A clock is any zero-argument callable returning seconds as a float.
+Clock = Callable[[], float]
+
+
+def default_clock() -> float:
+    """Monotonic seconds from :func:`time.perf_counter`."""
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """Elapsed-seconds measurement against an injectable clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning seconds; defaults to the
+        monotonic :func:`default_clock`.  Tests inject a fake clock to
+        make timing output deterministic.
+
+    Example
+    -------
+    >>> ticks = iter([0.0, 2.5])
+    >>> watch = Stopwatch(clock=lambda: next(ticks))
+    >>> watch.elapsed()
+    2.5
+    """
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self._clock: Clock = clock if clock is not None else default_clock
+        self._started = self._clock()
+
+    def reset(self) -> None:
+        """Restart the elapsed-time origin."""
+        self._started = self._clock()
+
+    def elapsed(self) -> float:
+        """Seconds since construction or the last :meth:`reset`."""
+        return self._clock() - self._started

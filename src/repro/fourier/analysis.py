@@ -35,7 +35,7 @@ def spectral_variance(f: BooleanFunction) -> float:
 
 
 def level_weight(f: BooleanFunction, level: int) -> float:
-    """W^{=level}(f) = Σ_{|S|=level} f̂(S)²."""
+    """W^{=level}(f) = Σ_{|S|=level} f̂(S)² (Section 2 level weights)."""
     if not 0 <= level <= f.m:
         raise InvalidParameterError(f"level must be in [0,{f.m}], got {level}")
     coeffs = f.coefficients
@@ -45,7 +45,11 @@ def level_weight(f: BooleanFunction, level: int) -> float:
 
 
 def weight_up_to_level(f: BooleanFunction, level: int, include_empty: bool = True) -> float:
-    """W^{<=level}(f) = Σ_{|S| <= level} f̂(S)² (optionally excluding S=∅)."""
+    """W^{<=level}(f) = Σ_{|S| <= level} f̂(S)², optionally excluding S=∅.
+
+    This is the low-level Fourier mass that the KKL-type Lemma 5.4
+    bounds for small-mean boolean functions.
+    """
     if not 0 <= level <= f.m:
         raise InvalidParameterError(f"level must be in [0,{f.m}], got {level}")
     coeffs = f.coefficients
@@ -58,7 +62,7 @@ def weight_up_to_level(f: BooleanFunction, level: int, include_empty: bool = Tru
 
 
 def influences(f: BooleanFunction) -> np.ndarray:
-    """Per-coordinate influence ``Inf_j(f) = Σ_{S ∋ j} f̂(S)²``."""
+    """Per-coordinate influence ``Inf_j(f) = Σ_{S ∋ j} f̂(S)²`` (Section 2)."""
     coeffs = f.coefficients
     result = np.empty(f.m, dtype=np.float64)
     indices = np.arange(coeffs.size)
@@ -69,14 +73,14 @@ def influences(f: BooleanFunction) -> np.ndarray:
 
 
 def total_influence(f: BooleanFunction) -> float:
-    """Total influence ``I(f) = Σ_S |S| f̂(S)²``."""
+    """Total influence ``I(f) = Σ_S |S| f̂(S)²`` (Section 2)."""
     coeffs = f.coefficients
     counts = popcounts(coeffs.size)
     return float((counts * coeffs * coeffs).sum())
 
 
 def noise_stability(f: BooleanFunction, rho: float) -> float:
-    """Stab_ρ(f) = Σ_S ρ^{|S|} f̂(S)²."""
+    """Stab_ρ(f) = Σ_S ρ^{|S|} f̂(S)² (Section 2 spectral toolkit)."""
     if not -1.0 <= rho <= 1.0:
         raise InvalidParameterError(f"rho must be in [-1,1], got {rho}")
     coeffs = f.coefficients
@@ -94,7 +98,7 @@ def plancherel_inner_product(f: BooleanFunction, g: BooleanFunction) -> float:
 
 
 def direct_inner_product(f: BooleanFunction, g: BooleanFunction) -> float:
-    """⟨f, g⟩ = E_x[f(x)g(x)] computed pointwise (for cross-checking)."""
+    """⟨f, g⟩ = E_x[f(x)g(x)] pointwise — the direct side of Fact 2.1."""
     if f.m != g.m:
         raise InvalidParameterError(
             f"functions live on different cubes: m={f.m} vs m={g.m}"

@@ -15,7 +15,7 @@ from ..exceptions import InvalidParameterError
 
 
 def subset_size(subset_mask: int) -> int:
-    """|S| — the popcount of the mask."""
+    """|S| — the popcount of the mask (subset encoding of Section 2)."""
     if subset_mask < 0:
         raise InvalidParameterError(f"subset_mask must be >= 0, got {subset_mask}")
     return bin(subset_mask).count("1")
@@ -24,7 +24,9 @@ def subset_size(subset_mask: int) -> int:
 def subsets_of_size(m: int, size: int) -> Iterator[int]:
     """Iterate all masks S ⊆ [m] with |S| = size, in increasing order.
 
-    Uses Gosper's hack for constant-time successor computation.
+    The per-level subset enumeration behind the Section 2 level weights
+    (and Prop. 5.2's |S|-indexed counts).  Uses Gosper's hack for
+    constant-time successor computation.
     """
     if m < 0:
         raise InvalidParameterError(f"m must be >= 0, got {m}")
@@ -44,7 +46,7 @@ def subsets_of_size(m: int, size: int) -> Iterator[int]:
 
 
 def all_subsets(m: int) -> Iterator[int]:
-    """Iterate every mask 0 .. 2^m - 1."""
+    """Iterate every mask 0 .. 2^m - 1 (the index set of Section 2)."""
     if m < 0:
         raise InvalidParameterError(f"m must be >= 0, got {m}")
     yield from range(1 << m)
@@ -53,8 +55,8 @@ def all_subsets(m: int) -> Iterator[int]:
 def character_value(subset_mask: int, point_index: int) -> int:
     """χ_S(x) = ∏_{j∈S} x_j ∈ {−1, +1} under the library's encoding.
 
-    Bit j of ``point_index`` set means ``x_j = -1``, so the character is
-    ``(-1)^popcount(S & point)``.
+    The character basis of Section 2.  Bit j of ``point_index`` set means
+    ``x_j = -1``, so the character is ``(-1)^popcount(S & point)``.
     """
     if subset_mask < 0 or point_index < 0:
         raise InvalidParameterError("masks must be non-negative")
@@ -62,7 +64,7 @@ def character_value(subset_mask: int, point_index: int) -> int:
 
 
 def character_vector(m: int, subset_mask: int) -> np.ndarray:
-    """The full ±1 truth table of χ_S over {−1,+1}^m."""
+    """The full ±1 truth table of the Section 2 character χ_S over {−1,+1}^m."""
     if not 0 <= subset_mask < (1 << m):
         raise InvalidParameterError(f"subset_mask {subset_mask} outside [0, 2^{m})")
     indices = np.arange(1 << m)
@@ -76,7 +78,7 @@ def character_vector(m: int, subset_mask: int) -> np.ndarray:
 
 
 def masks_by_level(m: int) -> List[np.ndarray]:
-    """``result[r]`` = array of all masks with popcount r (r = 0..m)."""
+    """``result[r]`` = all masks with popcount r, the Section 2 levels (r = 0..m)."""
     if m < 0:
         raise InvalidParameterError(f"m must be >= 0, got {m}")
     buckets: List[List[int]] = [[] for _ in range(m + 1)]
@@ -86,7 +88,7 @@ def masks_by_level(m: int) -> List[np.ndarray]:
 
 
 def popcounts(limit: int) -> np.ndarray:
-    """Vector of popcounts for 0..limit-1 (vectorised)."""
+    """Vector of popcounts |S| for masks 0..limit-1 (Section 2, vectorised)."""
     if limit < 0:
         raise InvalidParameterError(f"limit must be >= 0, got {limit}")
     indices = np.arange(limit, dtype=np.int64)

@@ -36,7 +36,7 @@ def double_factorial(value: int) -> int:
     """N!! — the product of integers from 1 to N with N's parity.
 
     By convention ``(-1)!! = 0!! = 1`` (the empty product), matching the
-    paper's use of ``(|S|-1)!!`` at ``|S| = 0``.
+    paper's use of ``(|S|-1)!!`` at ``|S| = 0`` in Proposition 5.2.
     """
     if value < -1:
         raise InvalidParameterError(f"double factorial undefined for {value}")
@@ -71,8 +71,9 @@ def is_evenly_covered(x: Union[Sequence[int], np.ndarray], subset_mask: int) -> 
 def evenly_covered_tuple_count(length: int, num_values: int) -> int:
     """E(t, h): tuples in [h]^t in which every value has even multiplicity.
 
-    Exact integer recurrence on the number of positions holding the last
-    value: ``E(t, h) = Σ_{even m} C(t, m) · E(t-m, h-1)``.
+    The combinatorial core of the |X_S| counts that Proposition 5.2
+    bounds.  Exact integer recurrence on the number of positions holding
+    the last value: ``E(t, h) = Σ_{even m} C(t, m) · E(t-m, h-1)``.
     """
     if length < 0 or num_values < 0:
         raise InvalidParameterError("length and num_values must be >= 0")
@@ -120,7 +121,7 @@ def x_s_upper_bound(q: int, subset_size: int, half: int) -> float:
 
 
 def a_r(x: Union[Sequence[int], np.ndarray], r: int) -> int:
-    """a_r(x) = #{S : |S| = 2r and (x, S) is evenly covered}.
+    """a_r(x) = #{S : |S| = 2r and (x, S) is evenly covered} (Lemma 5.5).
 
     Enumerates all size-2r subsets of positions; intended for small q.
     """
@@ -150,7 +151,7 @@ def a_r_expectation_exact(q: int, r: int, half: int) -> float:
 
 
 def a_r_expectation_bound(q: int, r: int, half: int) -> float:
-    """The paper's bound on E_x[a_r(x)]: ``(q²/n)^r`` with n = 2·half."""
+    """Lemma 5.5's bound on E_x[a_r(x)]: ``(q²/n)^r`` with n = 2·half."""
     if q < 0 or r < 0 or half < 1:
         raise InvalidParameterError("q, r must be >= 0 and half >= 1")
     n = 2 * half
@@ -158,7 +159,8 @@ def a_r_expectation_bound(q: int, r: int, half: int) -> float:
 
 
 def a_r_moment_exact(q: int, r: int, half: int, moment: int) -> float:
-    """E_x[a_r(x)^moment] by full enumeration of [half]^q (tiny cases only)."""
+    """E_x[a_r(x)^moment] (the Lemma 5.5 moments) by full enumeration of
+    [half]^q — tiny cases only."""
     if moment < 1:
         raise InvalidParameterError(f"moment must be >= 1, got {moment}")
     if half**q > 2**20:
@@ -176,7 +178,8 @@ def a_r_moment_exact(q: int, r: int, half: int, moment: int) -> float:
 def a_r_moment_monte_carlo(
     q: int, r: int, half: int, moment: int, trials: int = 2000, rng: RngLike = None
 ) -> float:
-    """Monte-Carlo estimate of E_x[a_r(x)^moment] for larger parameters."""
+    """Monte-Carlo estimate of the Lemma 5.5 moment E_x[a_r(x)^moment]
+    for parameters too large to enumerate."""
     if trials < 1:
         raise InvalidParameterError(f"trials must be >= 1, got {trials}")
     generator = ensure_rng(rng)

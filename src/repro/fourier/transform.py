@@ -37,8 +37,9 @@ def _validate_table(values: np.ndarray) -> int:
 def walsh_hadamard_transform(values: Union[Sequence[float], np.ndarray]) -> np.ndarray:
     """Fourier coefficients ``f̂(S) = E_x[f(x)χ_S(x)]`` for all S at once.
 
-    Input is the truth table of ``f`` over the index encoding above; output
-    index ``S`` (as a bitmask) holds ``f̂(S)``.
+    The Section 2 Fourier expansion, computed by the fast transform.
+    Input is the truth table of ``f`` over the index encoding above;
+    output index ``S`` (as a bitmask) holds ``f̂(S)``.
     """
     table = np.asarray(values, dtype=np.float64).copy()
     m = _validate_table(table)
@@ -57,7 +58,8 @@ def walsh_hadamard_transform(values: Union[Sequence[float], np.ndarray]) -> np.n
 def inverse_walsh_hadamard_transform(
     coefficients: Union[Sequence[float], np.ndarray]
 ) -> np.ndarray:
-    """Rebuild the truth table from Fourier coefficients (exact inverse)."""
+    """Rebuild the truth table from its Section 2 Fourier coefficients
+    (exact inverse of :func:`walsh_hadamard_transform`)."""
     coeffs = np.asarray(coefficients, dtype=np.float64)
     _validate_table(coeffs)
     # The WHT is an involution up to normalisation: H (H f / N) = f.

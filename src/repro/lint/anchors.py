@@ -1,0 +1,107 @@
+"""Registry of citable anchors in the source paper.
+
+The paper-citation rules (RL401/RL402) require public functions in the
+paper-math packages to cite the lemma/theorem they implement, and every
+cited anchor to actually exist in *Can Distributed Uniformity Testing Be
+Local?* (Meir–Minzer–Oshman, PODC 2019).  This module is the single
+source of truth for which anchors exist.
+
+The registry is baked in (the paper's numbering is fixed forever) and
+cross-checked by the test-suite against the anchors that appear in the
+repository's ``PAPER.md``: every anchor mentioned there must validate,
+so the baked set can never drift behind the recorded paper structure.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+#: Matches one ``Kind number`` anchor, tolerating plural kind forms
+#: ("Lemmas 4.2"), the ``§`` section sign, and parenthesised equation
+#: numbers ("Eq. (13)").
+ANCHOR_RE = re.compile(
+    r"(?P<kind>Lemmas?|Theorems?|Claims?|Propositions?|Prop\.|Facts?"
+    r"|Corollar(?:y|ies)|Equations?|Eqs?\.?|Sections?|§)"
+    r"\s*\(?(?P<number>\d+(?:\.\d+)?)\)?"
+)
+
+_KIND_ALIASES: Dict[str, str] = {
+    "lemma": "Lemma",
+    "lemmas": "Lemma",
+    "theorem": "Theorem",
+    "theorems": "Theorem",
+    "claim": "Claim",
+    "claims": "Claim",
+    "proposition": "Proposition",
+    "propositions": "Proposition",
+    "prop.": "Proposition",
+    "fact": "Fact",
+    "facts": "Fact",
+    "corollary": "Corollary",
+    "corollaries": "Corollary",
+    "equation": "Eq.",
+    "equations": "Eq.",
+    "eq": "Eq.",
+    "eq.": "Eq.",
+    "eqs": "Eq.",
+    "eqs.": "Eq.",
+    "section": "Section",
+    "sections": "Section",
+    "§": "Section",
+}
+
+#: Numbered statements the paper contains, by normalised kind.
+VALID_ANCHORS: Dict[str, FrozenSet[str]] = {
+    "Theorem": frozenset({"1.1", "1.2", "1.3", "1.4", "6.1", "6.4", "6.5"}),
+    "Lemma": frozenset({"4.1", "4.2", "4.3", "4.4", "5.1", "5.4", "5.5"}),
+    "Claim": frozenset({"3.1"}),
+    "Proposition": frozenset({"5.2"}),
+    "Fact": frozenset({"2.1", "2.2", "6.2", "6.3"}),
+    "Eq.": frozenset({"10", "13"}),
+    # Sections are validated structurally below (major part 1–7).
+}
+
+#: The paper has numbered sections 1 through 7 (with subsections).
+_SECTION_MAJORS = frozenset(str(major) for major in range(1, 8))
+
+
+def normalise_kind(kind: str) -> Optional[str]:
+    """Canonical anchor kind for a matched kind token, or ``None``."""
+    return _KIND_ALIASES.get(kind.strip().lower())
+
+
+def is_valid_anchor(kind: str, number: str) -> bool:
+    """Whether ``Kind number`` names a statement that exists in the paper."""
+    canonical = normalise_kind(kind)
+    if canonical is None:
+        return False
+    if canonical == "Section":
+        return number.split(".")[0] in _SECTION_MAJORS
+    return number in VALID_ANCHORS.get(canonical, frozenset())
+
+
+def find_anchors(text: str) -> Iterator[Tuple[str, str, int]]:
+    """Yield ``(kind, number, offset)`` for every anchor mention in ``text``."""
+    for match in ANCHOR_RE.finditer(text):
+        yield match.group("kind"), match.group("number"), match.start()
+
+
+def invalid_anchors(text: str) -> List[Tuple[str, str, int]]:
+    """The anchor mentions in ``text`` that do not exist in the paper."""
+    return [
+        (kind, number, offset)
+        for kind, number, offset in find_anchors(text)
+        if not is_valid_anchor(kind, number)
+    ]
+
+
+def has_anchor(text: Optional[str]) -> bool:
+    """Whether ``text`` cites at least one anchor (valid or not).
+
+    Presence (RL401) and validity (RL402) are separate diagnostics so a
+    typo'd citation reports "unknown anchor", not "missing anchor".
+    """
+    if not text:
+        return False
+    return ANCHOR_RE.search(text) is not None

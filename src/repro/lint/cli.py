@@ -1,0 +1,101 @@
+"""``python -m repro.lint`` — the determinism & citation lint gate.
+
+Usage::
+
+    python -m repro.lint [paths ...] [--select RL1,RL401] [--ignore RL5]
+                         [--format text|json] [--list-rules]
+
+Exit codes follow linter convention: ``0`` clean, ``1`` diagnostics
+found, ``2`` usage error (missing path, unknown rule code).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .registry import rule_classes
+from .runner import LintUsageError, iter_python_files, lint_paths
+
+#: Exit codes (linter convention).
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="AST-based determinism & paper-citation linter "
+        "(rule catalog: docs/static-analysis.md)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes/prefixes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes/prefixes to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _print_rule_catalog() -> None:
+    for rule_class in rule_classes():
+        print(f"{rule_class.code}  {rule_class.name}: {rule_class.summary}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print_rule_catalog()
+        return EXIT_CLEAN
+    try:
+        diagnostics = lint_paths(
+            args.paths,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+        scanned = len(iter_python_files(args.paths))
+    except LintUsageError as error:
+        print(f"repro.lint: error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.format == "json":
+        print(json.dumps([d.to_json() for d in diagnostics], indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+        noun = "issue" if len(diagnostics) == 1 else "issues"
+        print(
+            f"repro.lint: {len(diagnostics)} {noun} "
+            f"in {scanned} file(s) scanned"
+        )
+    return EXIT_VIOLATIONS if diagnostics else EXIT_CLEAN

@@ -1,0 +1,49 @@
+"""Source-located lint diagnostics.
+
+A :class:`Diagnostic` pins one rule violation to a ``path:line:col``
+location.  Diagnostics sort by location so output is stable regardless of
+the order rules ran in, and they render in the conventional
+``path:line:col: CODE message`` compiler format that editors can parse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One located lint finding.
+
+    Attributes
+    ----------
+    path:
+        File the finding was produced for (as given to the linter).
+    line / col:
+        1-based line and 0-based column of the offending node.
+    code:
+        Rule code, e.g. ``"RL101"``.
+    message:
+        Human-readable explanation including the remedy.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render in ``path:line:col: CODE message`` compiler format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-friendly dict for ``--format json`` output."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

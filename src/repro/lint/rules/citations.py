@@ -1,0 +1,112 @@
+"""Paper-anchor citation rules (RL401/RL402).
+
+The packages that make the paper's mathematics executable —
+``repro/lowerbounds/`` and ``repro/fourier/`` — exist to mirror numbered
+statements of Meir–Minzer–Oshman (PODC 2019).  Every public function
+there must say *which* statement it implements (RL401), and every cited
+anchor must exist in the paper (RL402), validated against the registry
+in :mod:`repro.lint.anchors`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from ..anchors import has_anchor, invalid_anchors, normalise_kind
+from ..context import FunctionNode, ModuleContext
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register_rule
+
+#: Packages whose public API must carry paper anchors.
+ANCHORED_PACKAGES = ("repro/lowerbounds", "repro/fourier")
+
+
+def _in_scope(ctx: ModuleContext) -> bool:
+    return any(ctx.in_package(package) for package in ANCHORED_PACKAGES)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _docstring(node: Union[ast.ClassDef, FunctionNode]) -> Optional[str]:
+    return ast.get_docstring(node, clean=False)
+
+
+@register_rule
+class MissingPaperAnchor(Rule):
+    """Public paper-math functions must cite their lemma/theorem."""
+
+    code = "RL401"
+    name = "missing-paper-anchor"
+    summary = "public function lacks a paper anchor in its docstring"
+    rationale = (
+        "Without a 'Lemma x.y'/'Theorem x.y' anchor a reader cannot check "
+        "the implementation against the paper, and the reproduction "
+        "record loses the code-to-claim mapping EXPERIMENTS.md relies on."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if not _in_scope(ctx):
+            return
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(stmt.name) and not has_anchor(_docstring(stmt)):
+                    yield self._missing(ctx, stmt, f"function {stmt.name}()")
+            elif isinstance(stmt, ast.ClassDef) and _is_public(stmt.name):
+                class_doc = _docstring(stmt)
+                for member in stmt.body:
+                    if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        continue
+                    if not _is_public(member.name):
+                        continue
+                    # A class-level anchor covers all its methods.
+                    if has_anchor(class_doc) or has_anchor(_docstring(member)):
+                        continue
+                    yield self._missing(
+                        ctx, member, f"method {stmt.name}.{member.name}()"
+                    )
+
+    def _missing(
+        self, ctx: ModuleContext, node: FunctionNode, what: str
+    ) -> Diagnostic:
+        return self.diag(
+            ctx,
+            node,
+            f"public {what} in a paper-anchored package cites no paper "
+            "anchor; add e.g. 'Lemma 4.2' or 'Theorem 1.1' to its docstring",
+        )
+
+
+@register_rule
+class UnknownPaperAnchor(Rule):
+    """Cited anchors must exist in the paper."""
+
+    code = "RL402"
+    name = "unknown-paper-anchor"
+    summary = "docstring cites an anchor that does not exist in the paper"
+    rationale = (
+        "A citation of a non-existent lemma/theorem is worse than none: "
+        "it sends the reader chasing a statement the paper never made.  "
+        "Valid anchors are registered in repro.lint.anchors."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if not _in_scope(ctx):
+            return
+        for _node, docstring, first_line in ctx.docstring_owners():
+            for kind, number, offset in invalid_anchors(docstring):
+                line = first_line + docstring[:offset].count("\n")
+                canonical = normalise_kind(kind) or kind
+                yield Diagnostic(
+                    path=ctx.path,
+                    line=line,
+                    col=0,
+                    code=self.code,
+                    message=(
+                        f"docstring cites {canonical} {number}, which does "
+                        "not exist in the paper (see repro.lint.anchors for "
+                        "the registry)"
+                    ),
+                )

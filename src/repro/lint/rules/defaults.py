@@ -1,0 +1,89 @@
+"""Mutable-default-argument rule (RL501).
+
+A mutable default is evaluated once at definition time and shared by
+every call — classic aliasing bugs, and in this codebase a determinism
+hazard too: state accumulated in a shared default makes a function's
+output depend on call history, which poisons cache keys built from
+"pure" probe arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..context import ModuleContext, dotted_name
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register_rule
+
+#: Constructor calls treated as building fresh mutable containers.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.deque",
+        "collections.OrderedDict",
+        "collections.Counter",
+    }
+)
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _is_mutable_default(ctx: ModuleContext, node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        name = ctx.resolve(dotted_name(node.func))
+        return name in MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register_rule
+class MutableDefaultArgument(Rule):
+    """Ban mutable default argument values."""
+
+    code = "RL501"
+    name = "mutable-default-argument"
+    summary = "mutable default argument shared across calls"
+    rationale = (
+        "Defaults evaluate once and are shared by every call; mutation "
+        "makes output depend on call history, which breaks the purity "
+        "assumption behind the acceptance cache.  Default to None and "
+        "build the container inside the function."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+    ) -> Iterator[Diagnostic]:
+        args = node.args  # type: ignore[attr-defined]
+        name: Optional[str] = getattr(node, "name", None)
+        label = f"{name}()" if name else "lambda"
+        defaults = list(args.defaults) + [
+            default for default in args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(ctx, default):
+                yield self.diag(
+                    ctx,
+                    default,
+                    f"mutable default argument in {label}; default to None "
+                    "and construct the container in the body",
+                )

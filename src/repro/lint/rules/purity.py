@@ -1,0 +1,184 @@
+"""Cache-purity rule (RL301).
+
+The engine memoises acceptance probes and ships tile kernels to worker
+processes on the assumption that a kernel's result is a pure function of
+its arguments.  A kernel that reads a *mutable* module global breaks
+both: the cache can return stale answers after the global changes, and a
+worker process (which re-imports the module fresh) can silently compute
+with a different value than the parent.
+
+The rule finds functions passed by name into the engine's dispatch
+sinks (``map_tasks`` / ``_dispatch``) and flags reads of module-level
+names bound by plain assignment — anything other than module constants
+(``UPPER_CASE`` or ``Final``-annotated), classes, functions and imports.
+``global`` declarations inside a kernel are flagged unconditionally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from ..context import FunctionNode, ModuleContext, dotted_name
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register_rule
+
+#: Call targets whose function-valued arguments are treated as kernels
+#: (matched on the final attribute so ``config.backend.map_tasks`` hits).
+ENGINE_SINKS = frozenset({"map_tasks", "_dispatch"})
+
+
+def _is_final_annotation(annotation: ast.expr) -> bool:
+    name = dotted_name(annotation)
+    if name is None and isinstance(annotation, ast.Subscript):
+        name = dotted_name(annotation.value)
+    return name is not None and name.split(".")[-1] == "Final"
+
+
+def _module_bindings(tree: ast.Module) -> Dict[str, Set[str]]:
+    """Classify top-level names into ``immutable`` and ``mutable`` sets."""
+    immutable: Set[str] = set()
+    mutable: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            immutable.add(stmt.name)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                immutable.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        _classify(name_node.id, immutable, mutable)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if _is_final_annotation(stmt.annotation):
+                immutable.add(stmt.target.id)
+            else:
+                _classify(stmt.target.id, immutable, mutable)
+    return {"immutable": immutable, "mutable": mutable - immutable}
+
+
+def _classify(name: str, immutable: Set[str], mutable: Set[str]) -> None:
+    if name.isupper() or (name.startswith("__") and name.endswith("__")):
+        immutable.add(name)
+    else:
+        mutable.add(name)
+
+
+def _local_names(function: FunctionNode) -> Set[str]:
+    """Names bound inside the function (params, assignments, imports, ...)."""
+    names: Set[str] = set()
+    args = function.args
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        names.add(arg.arg)
+    for node in ast.walk(function):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not function:
+                names.add(node.name)
+    return names
+
+
+def _runtime_nodes(function: FunctionNode) -> Iterator[ast.AST]:
+    """Walk a function, skipping annotation subtrees.
+
+    Annotations never execute during a kernel run (and are plain strings
+    under ``from __future__ import annotations``), so a type-alias name
+    appearing only in an annotation is not a purity violation.
+    """
+    skipped: Set[int] = set()
+    for node in ast.walk(function):
+        annotations: List[ast.expr] = []
+        if isinstance(node, ast.arg) and node.annotation is not None:
+            annotations.append(node.annotation)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None:
+                annotations.append(node.returns)
+        elif isinstance(node, ast.AnnAssign):
+            annotations.append(node.annotation)
+        for annotation in annotations:
+            for sub in ast.walk(annotation):
+                skipped.add(id(sub))
+    for node in ast.walk(function):
+        if id(node) not in skipped:
+            yield node
+
+
+def _kernel_names(ctx: ModuleContext) -> Set[str]:
+    """Names of module-level functions passed into an engine sink."""
+    module_functions = ctx.module_level_functions()
+    kernels: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = dotted_name(node.func)
+        if target is None or target.split(".")[-1] not in ENGINE_SINKS:
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(arg, ast.Name) and arg.id in module_functions:
+                kernels.add(arg.id)
+    return kernels
+
+
+@register_rule
+class CacheKernelPurity(Rule):
+    """Engine kernels must not read mutable module globals."""
+
+    code = "RL301"
+    name = "cache-kernel-purity"
+    summary = "engine kernel reads a mutable module global"
+    rationale = (
+        "Cacheable probes and worker-shipped tile kernels must be pure "
+        "functions of their arguments: a mutable global read makes cache "
+        "entries stale-able and lets worker processes (fresh imports) "
+        "disagree with the parent.  Pass the value as an argument or "
+        "promote it to an UPPER_CASE constant."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        kernels = _kernel_names(ctx)
+        if not kernels:
+            return
+        bindings = _module_bindings(ctx.tree)
+        module_functions = ctx.module_level_functions()
+        for name in sorted(kernels):
+            function = module_functions[name]
+            locals_ = _local_names(function)
+            reported: Set[str] = set()
+            for node in _runtime_nodes(function):
+                if isinstance(node, ast.Global):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"engine kernel {name}() declares "
+                        f"global {', '.join(node.names)}; kernels must be "
+                        "pure functions of their arguments",
+                    )
+                    continue
+                if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
+                    continue
+                identifier = node.id
+                if (
+                    identifier in locals_
+                    or identifier in reported
+                    or identifier not in bindings["mutable"]
+                ):
+                    continue
+                reported.add(identifier)
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"engine kernel {name}() reads mutable module global "
+                    f"{identifier!r}; pass it as an argument or make it an "
+                    "UPPER_CASE constant",
+                )

@@ -1,0 +1,92 @@
+"""Wall-clock / determinism rule (RL201).
+
+Cache keys and replayable results must be pure functions of their
+inputs; a wall-clock read anywhere in a computation path makes output
+depend on *when* it ran.  Monotonic timers are less dangerous but still
+non-deterministic, so all timing funnels through two allowlisted
+modules: the injectable clock helper (``repro.experiments.timing``) and
+the engine's metrics counters (``repro.engine.metrics``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register_rule
+
+#: Modules allowed to read clocks directly.
+TIMING_ALLOWLIST = frozenset(
+    {
+        "repro/experiments/timing.py",
+        "repro/engine/metrics.py",
+    }
+)
+
+#: Absolute wall-clock reads: results leak the date/time of the run.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Monotonic/duration timers: allowed only via the allowlisted helpers.
+MONOTONIC_CALLS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+
+
+@register_rule
+class WallClock(Rule):
+    """Ban direct clock reads outside the allowlisted timing modules."""
+
+    code = "RL201"
+    name = "wall-clock"
+    summary = "direct clock read outside the allowlisted timing modules"
+    rationale = (
+        "A clock read makes output a function of when the code ran, which "
+        "breaks cache replay and bit-identical reproduction.  Wall-clock "
+        "values additionally leak into reports and diffs.  Route timing "
+        "through repro.experiments.timing (injectable, monotonic)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if ctx.module_path in TIMING_ALLOWLIST:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.call_name(node)
+            if name in WALL_CLOCK_CALLS:
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"wall-clock read {name}() outside an allowlisted timing "
+                    "module; inject a clock via repro.experiments.timing",
+                )
+            elif name in MONOTONIC_CALLS:
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"monotonic timer {name}() outside an allowlisted timing "
+                    "module; use repro.experiments.timing.Stopwatch",
+                )

@@ -1,0 +1,90 @@
+"""File discovery and the lint driver loop."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from .context import ModuleContext
+from .diagnostics import Diagnostic
+from .registry import SYNTAX_ERROR_CODE, Rule, active_rules
+
+#: Directory names never descended into during discovery.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+class LintUsageError(Exception):
+    """A bad invocation (missing path, unknown rule code): exit code 2."""
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name
+                    for name in dirnames
+                    if name not in _SKIPPED_DIRS and not name.startswith(".")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append(os.path.join(root, filename))
+        else:
+            raise LintUsageError(f"path does not exist: {path}")
+    return sorted(dict.fromkeys(files))
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module_path: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Diagnostic]:
+    """Lint one in-memory source text; returns sorted diagnostics.
+
+    Unparsable sources yield a single ``RL001`` syntax-error diagnostic
+    (suppressible only file-wide, like any other code).
+    """
+    try:
+        ctx = ModuleContext(source, path, module_path=module_path)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                path=path,
+                line=error.lineno or 1,
+                col=max((error.offset or 1) - 1, 0),
+                code=SYNTAX_ERROR_CODE,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    findings: List[Diagnostic] = []
+    for rule in rules if rules is not None else active_rules():
+        for diagnostic in rule.check(ctx):
+            if not ctx.pragmas.is_disabled(diagnostic.code, diagnostic.line):
+                findings.append(diagnostic)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Diagnostic]:
+    """Lint every ``.py`` file under ``paths``; returns sorted diagnostics."""
+    try:
+        rules = active_rules(select=select, ignore=ignore)
+    except ValueError as error:
+        raise LintUsageError(str(error)) from error
+    findings: List[Diagnostic] = []
+    for filename in iter_python_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            raise LintUsageError(f"cannot read {filename}: {error}") from error
+        findings.extend(lint_source(source, path=filename, rules=rules))
+    return sorted(findings)

@@ -77,7 +77,8 @@ def asymmetric_q_lower_bound(
 
 
 def bernoulli_divergence(alpha: float, beta: float) -> float:
-    """D(B(α) || B(β)) in bits — one player's divergence contribution."""
+    """D(B(α) || B(β)) in bits — one player's contribution to the
+    Section 6.1 divergence budget (compared via Fact 6.3)."""
     return bernoulli_kl(alpha, beta)
 
 

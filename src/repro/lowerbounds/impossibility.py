@@ -45,7 +45,8 @@ class ImpossibilityReport:
 
     @property
     def impossibility_holds(self) -> bool:
-        """Whether no protocol achieved both-sided 2/3 correctness."""
+        """Whether no protocol achieved both-sided 2/3 correctness (the
+        single-sample impossibility discussed in Section 3)."""
         return self.best_min_success < 2.0 / 3.0
 
 
@@ -63,7 +64,8 @@ def verify_q1_and_impossibility(
     k_values: Sequence[int] = (1, 2, 4, 8, 16, 64, 256),
     tolerance: float = 1e-12,
 ) -> ImpossibilityReport:
-    """Exhaustively verify E_z[ν_z(G)^k] ≥ μ(G)^k for ALL q=1 player bits.
+    """Exhaustively verify E_z[ν_z(G)^k] ≥ μ(G)^k for ALL q=1 player bits
+    (the Section 3 single-sample AND-rule impossibility).
 
     Enumerates every deterministic table G : [n] → {0,1} (requires small
     n), computes both acceptance probabilities exactly, and also records

@@ -107,26 +107,28 @@ def _digit_matrix(n: int, q: int) -> np.ndarray:
 
 
 def mu_of_g(g: GTable) -> float:
-    """μ(G): acceptance probability under q uniform samples."""
+    """μ(G): acceptance probability under q uniform samples (Lemma 4.1 LHS)."""
     table = np.asarray(g, dtype=np.float64)
     return float(table.mean())
 
 
 def var_of_g(g: GTable) -> float:
-    """var(G) under the uniform distribution (= μ(1-μ) for boolean G)."""
+    """var(G) under uniform samples, the RHS scale of Lemma 4.2
+    (= μ(1-μ) for boolean G)."""
     mean = mu_of_g(g)
     return mean * (1.0 - mean)
 
 
 def nu_z_of_g(g: GTable, family: PaninskiFamily, q: int, z: np.ndarray) -> float:
-    """ν_z(G): acceptance probability when samples come from ν_z."""
+    """ν_z(G): acceptance probability under ν_z samples (Section 4 notation)."""
     table = _validate_g(g, family, q)
     pmf = family.distribution(z).tensor_power(q).pmf
     return float(np.dot(pmf, table))
 
 
 def z_statistics(g: GTable, family: PaninskiFamily, q: int) -> ZStatistics:
-    """Exact moments of ν_z(G) over *all* 2^half perturbation vectors."""
+    """Exact moments of ν_z(G) over *all* 2^half perturbation vectors —
+    the quantities bounded by Lemmas 4.2 and 4.3."""
     table = _validate_g(g, family, q)
     _check_enumerable(family, q)
     mu = mu_of_g(table)
@@ -353,7 +355,8 @@ def lemma_4_4_required_constant(
 
 
 def constant_g(family: PaninskiFamily, q: int, bit: int) -> GTable:
-    """The constant player (always accepts or always rejects)."""
+    """The constant player (always accepts or rejects) — the degenerate
+    case of the Section 4 lemma checks, with var(G) = 0."""
     if bit not in (0, 1):
         raise InvalidParameterError(f"bit must be 0 or 1, got {bit}")
     return np.full(family.n**q, float(bit))
@@ -362,7 +365,8 @@ def constant_g(family: PaninskiFamily, q: int, bit: int) -> GTable:
 def random_g(
     family: PaninskiFamily, q: int, bias: float = 0.5, rng: RngLike = None
 ) -> GTable:
-    """A uniformly random player table; each entry is 1 w.p. ``bias``."""
+    """A random player table (entries 1 w.p. ``bias``) for exercising the
+    Section 4 lemma checks off the structured extremes."""
     if not 0.0 <= bias <= 1.0:
         raise InvalidParameterError(f"bias must be in [0,1], got {bias}")
     generator = ensure_rng(rng)
@@ -373,7 +377,8 @@ def no_collision_g(family: PaninskiFamily, q: int) -> GTable:
     """Accept iff all *pair indices* x_i are distinct.
 
     This is the realistic collision-bit player restricted to the paired
-    domain: a collision in x is exactly what carries the z-signal.
+    domain of Section 3: a collision in x is exactly what carries the
+    z-signal.
     """
     _check_enumerable(family, q)
     digits = _digit_matrix(family.n, q) // 2  # pair index of each sample
@@ -387,8 +392,8 @@ def no_collision_g(family: PaninskiFamily, q: int) -> GTable:
 def collision_threshold_g(family: PaninskiFamily, q: int, threshold: int) -> GTable:
     """Accept iff the number of coincident *element* pairs is ≤ threshold.
 
-    The biased bits of the AND-rule tester are exactly this family of
-    tables with large thresholds.
+    The biased bits of the Theorem 1.2 AND-rule tester are exactly this
+    family of tables with large thresholds.
     """
     if threshold < 0:
         raise InvalidParameterError(f"threshold must be >= 0, got {threshold}")
@@ -407,8 +412,8 @@ def collision_threshold_g(family: PaninskiFamily, q: int, threshold: int) -> GTa
 def sign_dictator_g(family: PaninskiFamily, q: int, sample_index: int = 0) -> GTable:
     """Accept iff the sign part of one chosen sample is +1.
 
-    A maximally z-sensitive single-coordinate player — useful as the
-    extreme test case for the lemma bounds.
+    A maximally z-sensitive single-coordinate player — the extreme test
+    case for the Lemma 4.2/4.3 bounds.
     """
     if not 0 <= sample_index < q:
         raise InvalidParameterError(
@@ -423,7 +428,8 @@ def sign_dictator_g(family: PaninskiFamily, q: int, sample_index: int = 0) -> GT
 def standard_g_suite(
     family: PaninskiFamily, q: int, rng: RngLike = None
 ) -> Iterator[Tuple[str, GTable]]:
-    """The labelled suite of player tables the verification benches sweep."""
+    """The labelled suite of player tables the Section 4 lemma-check
+    benches sweep."""
     generator = ensure_rng(rng)
     yield "constant_accept", constant_g(family, q, 1)
     yield "constant_reject", constant_g(family, q, 0)

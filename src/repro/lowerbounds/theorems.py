@@ -23,7 +23,8 @@ def _validate_common(n: int, epsilon: float) -> None:
 
 
 def centralized_q_lower(n: int, epsilon: float, constant: float = 0.05) -> float:
-    """The classical centralized bound q = Ω(√n/ε²) ([16], recovered at k=1)."""
+    """The classical centralized bound q = Ω(√n/ε²) ([16]; recovered from
+    Theorem 1.1 at k = 1)."""
     _validate_common(n, epsilon)
     return constant * math.sqrt(n) / epsilon**2
 

@@ -1,0 +1,29 @@
+"""The injectable clock helper behind experiment reports."""
+
+import pytest
+
+from repro.experiments.timing import Stopwatch, default_clock
+
+
+def test_default_clock_is_monotonic_nondecreasing():
+    first = default_clock()
+    second = default_clock()
+    assert second >= first
+
+
+def test_stopwatch_uses_injected_clock():
+    ticks = iter([10.0, 12.5])
+    watch = Stopwatch(clock=lambda: next(ticks))
+    assert watch.elapsed() == pytest.approx(2.5)
+
+
+def test_stopwatch_reset_restarts_measurement():
+    values = iter([0.0, 1.0, 5.0])
+    watch = Stopwatch(clock=lambda: next(values))
+    watch.reset()  # consumes 1.0 as the new start
+    assert watch.elapsed() == pytest.approx(4.0)
+
+
+def test_stopwatch_real_clock_elapsed_is_nonnegative():
+    watch = Stopwatch()
+    assert watch.elapsed() >= 0.0

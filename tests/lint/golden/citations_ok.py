@@ -1,0 +1,18 @@
+# lint-path: repro/fourier/citation_example_ok.py
+"""Golden fixture: properly anchored paper code (Section 2)."""
+
+
+def anchored_bound(n):
+    """The q-sample bound of Lemma 4.2."""
+    return n
+
+
+def _private_needs_no_anchor(n):
+    return n
+
+
+class AnchoredAnalysis:
+    """Implements Theorem 1.1; the class anchor covers its methods."""
+
+    def run(self, n):
+        return n

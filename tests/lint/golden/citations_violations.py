@@ -1,0 +1,22 @@
+# lint-path: repro/lowerbounds/citation_example.py
+"""Golden fixture: citation rules for paper-anchored packages."""
+
+
+def uncited_bound(n):  # expect: RL401
+    """Return a bound with no anchor at all."""
+    return n
+
+
+def wrong_anchor(n):
+    """Implements Lemma 9.9 of the paper."""  # expect: RL402
+    return n
+
+
+class UncitedAnalysis:
+    """A class whose docstring cites nothing."""
+
+    def run(self, n):  # expect: RL401
+        return n
+
+    def _helper(self):
+        return None

@@ -1,0 +1,13 @@
+# lint-path: repro/stats/defaults_example_ok.py
+"""Golden fixture: None / immutable defaults — zero diagnostics."""
+
+
+def grows(history=None):
+    if history is None:
+        history = []
+    history.append(1)
+    return history
+
+
+def frozen(config=(), label="x", scale=1.0):
+    return config, label, scale

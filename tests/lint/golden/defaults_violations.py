@@ -1,0 +1,19 @@
+# lint-path: repro/stats/defaults_example.py
+"""Golden fixture: RL501 mutable default arguments."""
+import collections
+
+
+def grows(history=[]):  # expect: RL501
+    history.append(1)
+    return history
+
+
+def counts(table=collections.Counter()):  # expect: RL501
+    return table
+
+
+def keyword_only(*, mapping={}):  # expect: RL501
+    return mapping
+
+
+pick = lambda xs=[]: xs  # expect: RL501  # noqa: E731

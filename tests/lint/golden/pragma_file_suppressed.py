@@ -1,0 +1,13 @@
+# repro-lint: disable-file=RL103,RL201
+# lint-path: repro/stats/pragma_file_example.py
+"""Golden fixture: a file-wide pragma silences codes everywhere."""
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random()

@@ -1,0 +1,18 @@
+# lint-path: repro/stats/pragma_example.py
+"""Golden fixture: line pragmas silence specific codes — zero diagnostics."""
+import random  # repro-lint: disable=RL103
+
+import numpy as np
+
+
+def fresh():
+    return np.random.default_rng()  # repro-lint: disable=RL101
+
+
+def pinned():
+    return np.random.default_rng(7)  # repro-lint: disable=all
+
+
+def shuffled(items, rng=None):
+    random.shuffle(items)
+    return items

@@ -1,0 +1,18 @@
+# lint-path: repro/engine/kernel_example_ok.py
+"""Golden fixture: pure kernels — constants and annotations are fine."""
+from typing import Any, List
+
+SCALE = 3
+
+Alias = List[Any]
+
+
+def _kernel(owner, distribution, tile, root_entropy):
+    pieces: Alias = []
+    for block in tile:
+        pieces.append(block * SCALE + root_entropy)
+    return pieces
+
+
+def run(backend, tasks):
+    return backend.map_tasks(_kernel, tasks)

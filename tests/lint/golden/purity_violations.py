@@ -1,0 +1,15 @@
+# lint-path: repro/engine/kernel_example.py
+"""Golden fixture: RL301 fires for impure engine kernels."""
+
+_calls = 0
+table = {"a": 1}
+
+
+def _kernel(owner, distribution, tile, root_entropy):
+    global _calls  # expect: RL301
+    _calls += 1
+    return table["a"] + root_entropy  # expect: RL301
+
+
+def run(backend, tasks):
+    return backend.map_tasks(_kernel, tasks)

@@ -1,0 +1,8 @@
+# lint-path: repro/stats/rng_doctest_example.py
+"""Golden fixture: RNG rules see inside doctests (literal seeds exempt).
+
+>>> import numpy as np
+>>> rng = np.random.default_rng(0)
+>>> bad = np.random.default_rng()  # expect: RL101
+>>> worse = np.random.rand(2)  # expect: RL102
+"""

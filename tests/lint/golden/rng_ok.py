@@ -1,0 +1,18 @@
+# lint-path: repro/stats/rng_example_ok.py
+"""Golden fixture: disciplined RNG usage — zero diagnostics."""
+import numpy as np
+
+from repro.rng import ensure_rng
+
+
+def draw(rng=None):
+    generator = ensure_rng(rng)
+    return generator.integers(0, 10)
+
+
+def spawn(seed):
+    return np.random.default_rng(seed)
+
+
+def spawn_from_sequence(seed_sequence):
+    return np.random.default_rng(np.random.SeedSequence(seed_sequence))

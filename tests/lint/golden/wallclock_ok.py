@@ -1,0 +1,7 @@
+# lint-path: repro/experiments/timing.py
+"""Golden fixture: the allowlisted timing module may read clocks."""
+import time
+
+
+def default_clock():
+    return time.perf_counter()

@@ -1,0 +1,16 @@
+# lint-path: repro/experiments/clock_example.py
+"""Golden fixture: RL201 fires for wall-clock and monotonic reads."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()  # expect: RL201
+
+
+def stamp_text():
+    return datetime.now()  # expect: RL201
+
+
+def duration():
+    return time.perf_counter()  # expect: RL201

@@ -1,0 +1,71 @@
+"""Rule registry, pragma parsing, and select/ignore expansion."""
+
+import pytest
+
+from repro.lint import active_rules, rule_classes, rule_codes
+from repro.lint.pragmas import Pragmas
+from repro.lint.registry import Rule
+
+
+def test_registry_exposes_at_least_five_domain_rules():
+    assert len(rule_codes()) >= 5
+    # One code per rule family named in the design.
+    for code in ("RL101", "RL201", "RL301", "RL401", "RL501"):
+        assert code in rule_codes()
+
+
+def test_rule_metadata_is_complete():
+    for rule_class in rule_classes():
+        assert rule_class.code.startswith("RL")
+        assert rule_class.name
+        assert rule_class.summary
+        assert rule_class.rationale
+        assert issubclass(rule_class, Rule)
+
+
+def test_codes_are_unique():
+    codes = rule_codes()
+    assert len(codes) == len(set(codes))
+
+
+def test_select_by_prefix_expands():
+    selected = {type(rule).code for rule in active_rules(select=["RL1"])}
+    assert selected == {c for c in rule_codes() if c.startswith("RL1")}
+
+
+def test_ignore_removes_codes():
+    remaining = {type(rule).code for rule in active_rules(ignore=["RL401"])}
+    assert "RL401" not in remaining
+    assert "RL402" in remaining
+
+
+def test_unknown_code_raises():
+    with pytest.raises(ValueError):
+        active_rules(select=["RL999"])
+    with pytest.raises(ValueError):
+        active_rules(ignore=["BOGUS"])
+
+
+def test_line_pragma_scopes_to_its_line():
+    pragmas = Pragmas("x = 1  # repro-lint: disable=RL101\ny = 2\n")
+    assert pragmas.is_disabled("RL101", 1)
+    assert not pragmas.is_disabled("RL101", 2)
+    assert not pragmas.is_disabled("RL102", 1)
+
+
+def test_file_pragma_scopes_everywhere():
+    pragmas = Pragmas("# repro-lint: disable-file=RL103,RL201\nx = 1\n")
+    assert pragmas.is_disabled("RL103", 1)
+    assert pragmas.is_disabled("RL201", 99)
+    assert not pragmas.is_disabled("RL101", 1)
+
+
+def test_all_sentinel_disables_everything():
+    pragmas = Pragmas("x = 1  # repro-lint: disable=all\n")
+    assert pragmas.is_disabled("RL101", 1)
+    assert pragmas.is_disabled("RL501", 1)
+
+
+def test_pragma_inside_string_literal_is_ignored():
+    pragmas = Pragmas('text = "# repro-lint: disable=RL101"\n')
+    assert not pragmas.is_disabled("RL101", 1)
