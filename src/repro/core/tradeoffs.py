@@ -87,7 +87,9 @@ class AsymmetricRateTester(UniformityTester):
 
         probabilities_by_q = {}
         thresholds_by_q = {}
-        for q in set(self.sample_counts):
+        # Deduplicate via sorted() so the per-q calibration consumes
+        # ``calibration_rng`` in a fixed order regardless of set hashing.
+        for q in sorted(set(self.sample_counts)):
             pairs = q * (q - 1) / 2.0
             threshold = pairs * (1.0 + epsilon**2 / 2.0) / n
             thresholds_by_q[q] = threshold

@@ -98,7 +98,9 @@ class ProcessPoolBackend(ExecutionBackend):
         return [future.result() for future in futures]
 
     def close(self) -> None:
-        if self._executor is not None:
+        # getattr: __init__ may have raised before _executor was bound,
+        # and __del__ still runs on the half-constructed object.
+        if getattr(self, "_executor", None) is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
 

@@ -163,7 +163,9 @@ class AcceptanceCache:
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
-        for name in os.listdir(self.cache_dir):
+        # Sorted so deletion (and any interleaved failure) happens in a
+        # reproducible order independent of directory-listing order.
+        for name in sorted(os.listdir(self.cache_dir)):
             if name.startswith("accept-") and name.endswith(".json"):
                 os.remove(os.path.join(self.cache_dir, name))
                 removed += 1

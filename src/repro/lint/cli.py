@@ -3,10 +3,20 @@
 Usage::
 
     python -m repro.lint [paths ...] [--select RL1,RL401] [--ignore RL5]
-                         [--format text|json] [--list-rules]
+                         [--format text|json|github] [--jobs N]
+                         [--list-rules]
 
 Exit codes follow linter convention: ``0`` clean, ``1`` diagnostics
 found, ``2`` usage error (missing path, unknown rule code).
+
+Filter precedence: ``--select`` first narrows the rule set (codes or
+prefixes, comma-separated), then ``--ignore`` removes from whatever was
+selected — so ``--select RL6 --ignore RL603`` runs RL601/RL602/RL604,
+and an ignore always beats a select naming the same code.
+
+``--jobs N`` fans per-file rule evaluation out to N worker processes.
+Whole-program dataflow analysis is still built once, in the parent, and
+output is byte-identical to the serial pass.
 """
 
 from __future__ import annotations
@@ -51,13 +61,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ignore",
         metavar="CODES",
-        help="comma-separated rule codes/prefixes to skip",
+        help="comma-separated rule codes/prefixes to skip "
+        "(applied after --select; ignore beats select)",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="diagnostic output format",
+        help="diagnostic output format (github = ::error annotations)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for per-file rule evaluation "
+        "(output is byte-identical to serial; default: 1)",
     )
     parser.add_argument(
         "--list-rules",
@@ -83,6 +102,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.paths,
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
+            jobs=args.jobs,
         )
         scanned = len(iter_python_files(args.paths))
     except LintUsageError as error:
@@ -90,6 +110,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_USAGE
     if args.format == "json":
         print(json.dumps([d.to_json() for d in diagnostics], indent=2))
+    elif args.format == "github":
+        for diagnostic in diagnostics:
+            print(diagnostic.format_github())
     else:
         for diagnostic in diagnostics:
             print(diagnostic.format())

@@ -1,0 +1,50 @@
+"""Whole-program determinism dataflow analysis for ``repro.lint``.
+
+The package layers bottom-up:
+
+``lattice``
+    The abstract-value domain (RNG lineage, order taint, entropy,
+    parameter lineage) with monotone join/transfer helpers.
+``summaries``
+    Inter-procedural function summaries plus hand-written models of the
+    external RNG surface (``numpy.random``, ``repro.rng``, engine seed
+    helpers).
+``modules``
+    Per-file symbol tables and cross-module name resolution
+    (re-export-chasing) over the analysed file set.
+``callgraph``
+    Statically resolvable call edges and a callees-first order.
+``intra``
+    The abstract interpreter over one function body: produces a
+    summary and the RL6xx raw findings.
+``program``
+    The driver: summary fixpoint over the call graph, then a reporting
+    pass; results are picklable for the ``--jobs N`` runner.
+"""
+
+from .intra import RawFinding, analyze_function
+from .lattice import (
+    EntropyTag,
+    OrderTag,
+    ParamTag,
+    RngTag,
+    UnorderedTag,
+    Value,
+)
+from .program import ProgramAnalysis, analyze_program
+from .summaries import BUILTIN_SUMMARIES, FunctionSummary
+
+__all__ = [
+    "BUILTIN_SUMMARIES",
+    "EntropyTag",
+    "FunctionSummary",
+    "OrderTag",
+    "ParamTag",
+    "ProgramAnalysis",
+    "RawFinding",
+    "RngTag",
+    "UnorderedTag",
+    "Value",
+    "analyze_function",
+    "analyze_program",
+]

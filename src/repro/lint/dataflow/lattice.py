@@ -1,0 +1,203 @@
+"""The abstract-value lattice of the determinism dataflow analysis.
+
+An abstract value is a finite set of :class:`Tag` facts about the runtime
+value a name (or expression) may hold.  The lattice is the powerset of
+tags ordered by inclusion; ``join`` is set union, so transfer functions
+are monotone and every fixpoint iteration terminates (the tag universe is
+bounded by the number of creation sites in the analysed program).
+
+Tag kinds
+---------
+``RngTag``
+    The value is (or contains) a ``numpy.random.Generator`` /
+    ``SeedSequence``.  ``origin`` names the creation site; ``derivation``
+    records how the stream relates to its root:
+
+    * ``"root"`` — the stream as created (sharing it across parallel
+      tasks replays identical draws);
+    * ``"shared-root"`` — a root stream that the analysis has seen
+      multiplexed across several task payloads (the RL601 violation
+      state);
+    * ``"spawned"`` / ``"jumped"`` — independent child streams derived
+      via ``spawn()`` / ``jumped()`` / spawn-key ``SeedSequence``
+      construction (always safe to distribute);
+    * ``"per-task"`` — created fresh inside the per-task scope of a
+      comprehension, so every task gets its own stream.
+
+``OrderTag``
+    The value's content or element order depends on a nondeterministic
+    (or history-dependent) iteration order: ``set``/``dict`` iteration,
+    ``os.listdir``, ``glob``, unsorted ``Path.iterdir``.
+
+``UnorderedTag``
+    The value *is* an unordered container (``set``/``frozenset``/``dict``
+    or a view of one); iterating it yields ``OrderTag``-tainted elements,
+    and materialising it (``list(...)``) bakes the unstable order into a
+    sequence.
+
+``EntropyTag``
+    The value is data derived (transitively) from an *unseeded*
+    generator — OS entropy that no seed reproduces.
+
+``ParamTag``
+    Symbolic marker for "derived from parameter ``name``" used while
+    summarising a function; call sites substitute the concrete argument
+    tags for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Union
+
+#: Derivation states of an RNG stream, ordered by "distribution safety".
+DERIVATION_ROOT = "root"
+DERIVATION_SHARED = "shared-root"
+DERIVATION_SPAWNED = "spawned"
+DERIVATION_JUMPED = "jumped"
+DERIVATION_PER_TASK = "per-task"
+
+#: Derivations that are safe to hand to independent parallel tasks.
+SAFE_DERIVATIONS = frozenset(
+    {DERIVATION_SPAWNED, DERIVATION_JUMPED, DERIVATION_PER_TASK}
+)
+
+
+@dataclass(frozen=True)
+class RngTag:
+    """The value carries an RNG stream created at ``origin``.
+
+    ``origin_line`` locates the creation site in its file; the RL601
+    detector compares it against comprehension/loop spans to distinguish
+    a stream created freshly *per task* from an outer stream multiplexed
+    across tasks.
+    """
+
+    origin: str
+    derivation: str = DERIVATION_ROOT
+    seeded: bool = True
+    origin_line: int = -1
+
+    def with_derivation(self, derivation: str) -> "RngTag":
+        return RngTag(self.origin, derivation, self.seeded, self.origin_line)
+
+
+@dataclass(frozen=True)
+class OrderTag:
+    """The value depends on a nondeterministic iteration order."""
+
+    origin: str
+
+
+@dataclass(frozen=True)
+class UnorderedTag:
+    """The value is an unordered container (iteration order unstable)."""
+
+    origin: str
+    kind: str = "set"  # "set" | "dict" | "listing"
+
+
+@dataclass(frozen=True)
+class EntropyTag:
+    """The value is derived from an unseeded (OS-entropy) generator."""
+
+    origin: str
+
+
+@dataclass(frozen=True)
+class ParamTag:
+    """Symbolic "flows from parameter ``name``" marker for summaries."""
+
+    name: str
+
+
+Tag = Union[RngTag, OrderTag, UnorderedTag, EntropyTag, ParamTag]
+
+#: The abstract value: a (possibly empty) set of tags.  Bottom = empty.
+Value = FrozenSet[Tag]
+
+BOTTOM: Value = frozenset()
+
+
+def value(*tags: Tag) -> Value:
+    """Build an abstract value from explicit tags."""
+    return frozenset(tags)
+
+
+def join(*values: Iterable[Tag]) -> Value:
+    """Least upper bound — set union of all tag sets."""
+    out: set = set()
+    for item in values:
+        out.update(item)
+    return frozenset(out)
+
+
+def rng_tags(val: Value) -> FrozenSet[RngTag]:
+    """The RNG-stream tags carried by ``val``."""
+    return frozenset(tag for tag in val if isinstance(tag, RngTag))
+
+
+def order_tags(val: Value) -> FrozenSet[OrderTag]:
+    """The order-sensitivity taints carried by ``val``."""
+    return frozenset(tag for tag in val if isinstance(tag, OrderTag))
+
+
+def unordered_tags(val: Value) -> FrozenSet[UnorderedTag]:
+    """The unordered-container facts carried by ``val``."""
+    return frozenset(tag for tag in val if isinstance(tag, UnorderedTag))
+
+
+def entropy_tags(val: Value) -> FrozenSet[EntropyTag]:
+    """The OS-entropy taints carried by ``val``."""
+    return frozenset(tag for tag in val if isinstance(tag, EntropyTag))
+
+
+def param_tags(val: Value) -> FrozenSet[ParamTag]:
+    """The symbolic parameter-lineage markers carried by ``val``."""
+    return frozenset(tag for tag in val if isinstance(tag, ParamTag))
+
+
+def broad_taints(val: Value) -> Value:
+    """The taints that survive *any* derivation (unknown calls included).
+
+    Order and entropy taints are contagious by definition — a value
+    computed from nondeterministically ordered or entropy-derived inputs
+    is itself nondeterministic.  Parameter lineage likewise survives
+    arbitrary computation ("derived from the parameter").  RNG-stream and
+    container facts do **not** survive unknown calls: sampling from a
+    generator yields data, not the generator.
+    """
+    return frozenset(
+        tag
+        for tag in val
+        if isinstance(tag, (OrderTag, EntropyTag, ParamTag))
+    )
+
+
+def sanitize_order(val: Value) -> Value:
+    """Drop order facts — the effect of ``sorted(...)`` and friends."""
+    return frozenset(
+        tag for tag in val if not isinstance(tag, (OrderTag, UnorderedTag))
+    )
+
+
+def iteration_value(val: Value, site: str) -> Value:
+    """The abstract value of elements obtained by iterating ``val``.
+
+    Iterating an unordered container yields order-tainted elements;
+    iterating an already order-tainted sequence keeps the taint; every
+    other tag (rng streams inside a container, entropy, parameter
+    lineage) passes through unchanged.
+    """
+    out = set(tag for tag in val if not isinstance(tag, UnorderedTag))
+    for tag in unordered_tags(val):
+        out.add(OrderTag(origin=tag.origin))
+    return frozenset(out)
+
+
+def materialize_value(val: Value) -> Value:
+    """The value of ``list(x)`` / ``tuple(x)``: unstable order is baked in."""
+    out = set(tag for tag in val if not isinstance(tag, UnorderedTag))
+    for tag in unordered_tags(val):
+        out.add(OrderTag(origin=tag.origin))
+    return frozenset(out)

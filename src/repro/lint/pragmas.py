@@ -11,6 +11,12 @@ Two pragma forms are recognised, mirroring established linters:
 found with :mod:`tokenize` so string literals containing the marker text
 are never misread as suppressions; files that fail to tokenize fall back
 to a plain line scan so a pragma still works in partially broken code.
+
+File-wide pragmas work anywhere a comment does — after a shebang, a
+``coding:`` declaration, or both — and several codes may share one
+pragma (``disable-file=RL101, RL102``).  Text after the code list is
+free-form justification and is ignored by the parser; RL6xx
+suppressions are expected to carry one.
 """
 
 from __future__ import annotations
@@ -23,8 +29,14 @@ from typing import Dict, FrozenSet, Iterator, Set, Tuple
 #: Sentinel accepted in a pragma code list to mean "every rule".
 ALL_CODES = "ALL"
 
+#: The code list is a strict comma-separated sequence of identifiers —
+#: whitespace is allowed around the commas but cannot join two words
+#: into one "code", so a trailing justification comment
+#: (``disable=RL603 report order is authored``) never corrupts the
+#: parsed codes.
 _PRAGMA_RE = re.compile(
-    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)"
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
 )
 
 

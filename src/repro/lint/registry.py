@@ -12,6 +12,8 @@ Code families
 * ``RL3xx`` — cache purity
 * ``RL4xx`` — paper-anchor citations
 * ``RL5xx`` — mutable default arguments
+* ``RL6xx`` — whole-program determinism dataflow (RNG-stream lineage,
+  nondeterministic iteration order)
 * ``RL001`` — reserved: file could not be parsed (emitted by the runner)
 """
 
@@ -39,6 +41,11 @@ class Rule(ABC):
     summary: str = ""
     #: Why violating the rule breaks the determinism/cache/citation contract.
     rationale: str = ""
+    #: Whether the rule consumes whole-program dataflow results
+    #: (``ctx.program``); the runner builds the shared
+    #: :class:`~repro.lint.dataflow.ProgramAnalysis` once per invocation
+    #: iff at least one active rule sets this.
+    requires_program: bool = False
 
     @abstractmethod
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:

@@ -1,5 +1,5 @@
 """Built-in lint rules; importing this package registers them all."""
 
-from . import citations, defaults, purity, rng, wallclock
+from . import citations, defaults, purity, rng, streams, wallclock
 
-__all__ = ["citations", "defaults", "purity", "rng", "wallclock"]
+__all__ = ["citations", "defaults", "purity", "rng", "streams", "wallclock"]

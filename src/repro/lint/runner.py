@@ -1,9 +1,22 @@
-"""File discovery and the lint driver loop."""
+"""File discovery and the lint driver loop.
+
+Two execution modes share one pipeline:
+
+* **Serial** (default): every file is linted in-process.
+* **Process-parallel** (``--jobs N``): the whole-program dataflow
+  analysis is still built *once*, in the parent (it needs every file at
+  once anyway), then per-file rule evaluation fans out to worker
+  processes.  Each worker re-instantiates the active rules from the
+  ``select``/``ignore`` spec and replays the pickled analysis, so the
+  merged, globally sorted diagnostics are byte-identical to the serial
+  pass by construction.
+"""
 
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .context import ModuleContext
 from .diagnostics import Diagnostic
@@ -43,24 +56,30 @@ def lint_source(
     path: str = "<string>",
     module_path: Optional[str] = None,
     rules: Optional[Sequence[Rule]] = None,
+    program: Optional[object] = None,
+    ctx: Optional[ModuleContext] = None,
 ) -> List[Diagnostic]:
     """Lint one in-memory source text; returns sorted diagnostics.
 
     Unparsable sources yield a single ``RL001`` syntax-error diagnostic
-    (suppressible only file-wide, like any other code).
+    (suppressible only file-wide, like any other code).  ``program`` is
+    the invocation-wide dataflow analysis, when one was built; ``ctx``
+    an already-parsed context (the runner parses each file only once).
     """
-    try:
-        ctx = ModuleContext(source, path, module_path=module_path)
-    except SyntaxError as error:
-        return [
-            Diagnostic(
-                path=path,
-                line=error.lineno or 1,
-                col=max((error.offset or 1) - 1, 0),
-                code=SYNTAX_ERROR_CODE,
-                message=f"file does not parse: {error.msg}",
-            )
-        ]
+    if ctx is None:
+        try:
+            ctx = ModuleContext(source, path, module_path=module_path)
+        except SyntaxError as error:
+            return [
+                Diagnostic(
+                    path=path,
+                    line=error.lineno or 1,
+                    col=max((error.offset or 1) - 1, 0),
+                    code=SYNTAX_ERROR_CODE,
+                    message=f"file does not parse: {error.msg}",
+                )
+            ]
+    ctx.program = program
     findings: List[Diagnostic] = []
     for rule in rules if rules is not None else active_rules():
         for diagnostic in rule.check(ctx):
@@ -69,22 +88,128 @@ def lint_source(
     return sorted(findings)
 
 
+def _read_files(paths: Sequence[str]) -> List[Tuple[str, str]]:
+    files: List[Tuple[str, str]] = []
+    for filename in iter_python_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                files.append((filename, handle.read()))
+        except OSError as error:
+            raise LintUsageError(f"cannot read {filename}: {error}") from error
+    return files
+
+
+def _build_program(
+    rules: Sequence[Rule],
+    files: Sequence[Tuple[str, str]],
+    contexts: Optional[Dict[str, ModuleContext]] = None,
+) -> Optional[object]:
+    """The shared dataflow analysis, iff any active rule needs it."""
+    if not any(getattr(rule, "requires_program", False) for rule in rules):
+        return None
+    from .dataflow import analyze_program
+
+    return analyze_program(files, contexts=contexts)
+
+
+def _strip_for_workers(program: Optional[object]) -> Optional[object]:
+    """A findings-only copy of the analysis for cheap worker pickling."""
+    if program is None:
+        return None
+    from .dataflow import ProgramAnalysis
+
+    assert isinstance(program, ProgramAnalysis)
+    return ProgramAnalysis(findings=program.findings)
+
+
+# ---------------------------------------------------------------------- #
+# process-parallel evaluation                                            #
+# ---------------------------------------------------------------------- #
+
+#: Per-worker state installed by the pool initialiser (rules are cheap
+#: to re-instantiate; the analysis is pickled exactly once per worker).
+_WORKER_STATE: Dict[str, Any] = {}
+
+#: Contexts parsed by the parent, published just before the pool forks.
+#: Workers created with the ``fork`` start method inherit these for free
+#: (no pickling); under ``spawn`` the dict is empty in the child and
+#: :func:`lint_source` simply re-parses.
+_PARENT_CONTEXTS: Dict[str, ModuleContext] = {}
+
+
+def _init_worker(
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+    program: Optional[object],
+) -> None:
+    _WORKER_STATE["rules"] = active_rules(select=select, ignore=ignore)
+    _WORKER_STATE["program"] = program
+
+
+def _lint_worker(item: Tuple[str, str]) -> List[Diagnostic]:
+    filename, source = item
+    return lint_source(
+        source,
+        path=filename,
+        rules=_WORKER_STATE["rules"],
+        program=_WORKER_STATE["program"],
+        ctx=_PARENT_CONTEXTS.get(filename),
+    )
+
+
 def lint_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> List[Diagnostic]:
-    """Lint every ``.py`` file under ``paths``; returns sorted diagnostics."""
+    """Lint every ``.py`` file under ``paths``; returns sorted diagnostics.
+
+    ``jobs > 1`` fans per-file rule evaluation out to that many worker
+    processes; the result is byte-identical to ``jobs == 1`` (the final
+    global sort makes ordering independent of completion order).
+    """
+    if jobs < 1:
+        raise LintUsageError(f"--jobs must be >= 1, got {jobs}")
     try:
         rules = active_rules(select=select, ignore=ignore)
     except ValueError as error:
         raise LintUsageError(str(error)) from error
-    findings: List[Diagnostic] = []
-    for filename in iter_python_files(paths):
+    files = _read_files(paths)
+    contexts: Dict[str, ModuleContext] = {}
+    for filename, source in files:
         try:
-            with open(filename, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except OSError as error:
-            raise LintUsageError(f"cannot read {filename}: {error}") from error
-        findings.extend(lint_source(source, path=filename, rules=rules))
+            contexts[filename] = ModuleContext(source, filename)
+        except SyntaxError:
+            pass  # lint_source re-parses and emits RL001
+    program = _build_program(rules, files, contexts)
+
+    findings: List[Diagnostic] = []
+    if jobs == 1 or len(files) <= 1:
+        for filename, source in files:
+            findings.extend(
+                lint_source(
+                    source,
+                    path=filename,
+                    rules=rules,
+                    program=program,
+                    ctx=contexts.get(filename),
+                )
+            )
+        return sorted(findings)
+
+    shipped = _strip_for_workers(program)
+    chunksize = max(1, len(files) // (jobs * 4))
+    _PARENT_CONTEXTS.clear()
+    _PARENT_CONTEXTS.update(contexts)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(select, ignore, shipped),
+        ) as pool:
+            for result in pool.map(_lint_worker, files, chunksize=chunksize):
+                findings.extend(result)
+    finally:
+        _PARENT_CONTEXTS.clear()
     return sorted(findings)

@@ -45,7 +45,12 @@ class ConvergecastProgram(NodeProgram):
         outbox: Dict[int, int] = {}
         ready = len(self._received) == len(self.children)
         if ready and not self._sent:
-            subtotal = self.value + sum(self._received.values())
+            # Sum child payloads in sorted-sender order: the dict's fill
+            # order follows message arrival, which is not part of the
+            # protocol's deterministic contract.
+            subtotal = self.value + sum(
+                payload for _sender, payload in sorted(self._received.items())
+            )
             if self.parent >= 0:
                 outbox[self.parent] = subtotal
             else:

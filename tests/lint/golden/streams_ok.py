@@ -1,0 +1,48 @@
+# lint-path: repro/stats/streams_example_ok.py
+"""Clean counterpart: per-task stream derivation and canonical order."""
+import os
+
+import numpy as np
+
+
+def spawned_streams(engine, rng, n_tasks):
+    children = rng.spawn(n_tasks)
+    tasks = [(child, index) for index, child in enumerate(children)]
+    return engine.map_tasks(echo_kernel, tasks)
+
+
+def jumped_streams(backend, rng, payloads):
+    jobs = [(rng.jumped(), payload) for payload in payloads]
+    return backend._dispatch(jobs)
+
+
+def per_task_roots(engine, seed, n_tasks):
+    tasks = [(np.random.default_rng(seed + index), index) for index in range(n_tasks)]
+    return engine.map_tasks(echo_kernel, tasks)
+
+
+def echo_kernel(task):
+    return task
+
+
+def sorted_total(samples):
+    bucket = set(samples)
+    return sum(sorted(bucket))
+
+
+def sorted_digest(root):
+    return "|".join(sorted(os.listdir(root)))
+
+
+def canonical_draw(rng, root):
+    files = sorted(os.listdir(root))
+    return rng.choice(files)
+
+
+def run_seeded(engine, tasks):
+    return engine.map_tasks(seeded_kernel, tasks)
+
+
+def seeded_kernel(task):
+    rng = np.random.default_rng(task)
+    return rng.standard_normal()

@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+# -*- coding: utf-8 -*-
+# lint-path: repro/stats/streams_pragma_example.py
+# repro-lint: disable-file=RL601, RL604 fixture exercises file-wide multi-code pragmas
+"""RL6xx suppressions: line and file pragmas with justification text."""
+import os
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+
+def justified_digest(root):
+    entries = os.listdir(root)
+    return "|".join(entries)  # repro-lint: disable=RL603 arrival order is canonical here
+
+
+def replayed_broadcast(engine, seed, n_tasks):
+    rng = np.random.default_rng(seed)
+    tasks = [(rng, index) for index in range(n_tasks)]
+    return engine.map_tasks(replay_kernel, tasks)
+
+
+def replay_kernel(task):
+    rng = ensure_rng(None)
+    return rng.standard_normal()

@@ -1,0 +1,54 @@
+# lint-path: repro/stats/streams_example.py
+"""Golden fixture: every RL6xx stream-dataflow rule fires."""
+import os
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+
+def broadcast_stream(engine, seed, n_tasks):
+    rng = np.random.default_rng(seed)
+    tasks = [(rng, index) for index in range(n_tasks)]
+    return engine.map_tasks(echo_kernel, tasks)  # expect: RL601
+
+
+def direct_dispatch(backend, seed, payloads):
+    rng = np.random.default_rng(seed)
+    jobs = [(rng, payload) for payload in payloads]
+    return backend._dispatch(jobs)  # expect: RL601
+
+
+def echo_kernel(task):
+    return task
+
+
+def forked_lineage(rng, salt):
+    local = np.random.default_rng(salt)  # expect: RL602
+    return local.normal()
+
+
+def unordered_total(samples):
+    bucket = set()
+    for sample in samples:
+        bucket.add(sample)
+    return sum(bucket)  # expect: RL603
+
+
+def directory_digest(root):
+    entries = os.listdir(root)
+    return "|".join(entries)  # expect: RL603
+
+
+def order_dependent_draw(rng, root):
+    files = os.listdir(root)
+    return rng.choice(files)  # expect: RL603
+
+
+def run_noisy(engine, tasks):
+    return engine.map_tasks(entropy_kernel, tasks)
+
+
+def entropy_kernel(task):
+    rng = ensure_rng(None)
+    return rng.standard_normal()  # expect: RL604

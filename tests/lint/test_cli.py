@@ -102,3 +102,57 @@ def test_shipped_tree_is_lint_clean():
     result = _run_module(["-m", "repro.lint", "src"])
     assert result.returncode == EXIT_CLEAN, result.stdout + result.stderr
     assert "0 issues" in result.stdout
+
+
+def test_github_format_emits_error_annotations(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", DIRTY_SOURCE)
+    assert main([path, "--format", "github"]) == EXIT_VIOLATIONS
+    out = capsys.readouterr().out
+    assert out.startswith(f"::error file={path},line=1,col=1,title=RL103::")
+    assert "RL103" in out
+
+
+def test_github_format_escapes_workflow_command_metacharacters():
+    from repro.lint.diagnostics import Diagnostic
+
+    diagnostic = Diagnostic(
+        path="a,b.py", line=3, col=0, code="RL101", message="first%\nsecond"
+    )
+    rendered = diagnostic.format_github()
+    assert rendered == (
+        "::error file=a%2Cb.py,line=3,col=1,title=RL101::RL101 first%25%0Asecond"
+    )
+
+
+def test_ignore_beats_select(tmp_path):
+    """Precedence: --select narrows the set, then --ignore removes."""
+    path = _write(tmp_path, "dirty.py", DIRTY_SOURCE)
+    assert main([path, "--select", "RL1", "--ignore", "RL103"]) == EXIT_CLEAN
+    assert main([path, "--select", "RL103", "--ignore", "RL103"]) == EXIT_CLEAN
+
+
+def test_jobs_zero_is_a_usage_error(tmp_path, capsys):
+    path = _write(tmp_path, "clean.py", CLEAN_SOURCE)
+    assert main([path, "--jobs", "0"]) == EXIT_USAGE
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_jobs_output_byte_identical_to_serial(tmp_path, capsys):
+    for index in range(6):
+        _write(tmp_path, f"dirty_{index}.py", DIRTY_SOURCE)
+    _write(tmp_path, "clean.py", CLEAN_SOURCE)
+    main([str(tmp_path)])
+    serial = capsys.readouterr().out
+    main([str(tmp_path), "--jobs", "2"])
+    parallel = capsys.readouterr().out
+    assert parallel == serial
+
+
+def test_jobs_agrees_on_dataflow_rules():
+    """RL6xx findings survive the worker-pickling round trip."""
+    dirty = os.path.join(GOLDEN_DIR, "streams_violations.py")
+    serial = _run_module(["-m", "repro.lint", dirty])
+    parallel = _run_module(["-m", "repro.lint", "--jobs", "2", dirty])
+    assert serial.returncode == EXIT_VIOLATIONS
+    assert parallel.stdout == serial.stdout
+    assert "RL601" in serial.stdout

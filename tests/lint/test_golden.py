@@ -63,7 +63,7 @@ def test_every_rule_family_has_a_clean_fixture():
         for name in GOLDEN_FILES
         if not expected_diagnostics(os.path.join(GOLDEN_DIR, name))
     }
-    for family in ("rng", "wallclock", "purity", "citations", "defaults"):
+    for family in ("rng", "wallclock", "purity", "citations", "defaults", "streams"):
         assert any(name.startswith(family) for name in clean), family
 
 

@@ -1,0 +1,61 @@
+"""Pragma parsing: placement, multi-code lists, justification text."""
+
+from repro.lint.pragmas import Pragmas
+from repro.lint.runner import lint_source
+
+
+def test_file_pragma_after_shebang_and_coding_lines():
+    source = (
+        "#!/usr/bin/env python\n"
+        "# -*- coding: utf-8 -*-\n"
+        "# repro-lint: disable-file=RL103\n"
+        "import random\n"
+    )
+    pragmas = Pragmas(source)
+    assert pragmas.file_wide == frozenset({"RL103"})
+    assert lint_source(source, path="x.py") == []
+
+
+def test_file_pragma_with_multiple_codes():
+    source = "# repro-lint: disable-file=RL101, RL103\nimport random\n"
+    pragmas = Pragmas(source)
+    assert pragmas.file_wide == frozenset({"RL101", "RL103"})
+    assert lint_source(source, path="x.py") == []
+
+
+def test_trailing_justification_does_not_corrupt_codes():
+    """Free-form text after the code list must not merge into a code."""
+    source = (
+        "# repro-lint: disable-file=RL103 stdlib random is fine in this demo\n"
+        "import random\n"
+    )
+    pragmas = Pragmas(source)
+    assert pragmas.file_wide == frozenset({"RL103"})
+    assert lint_source(source, path="x.py") == []
+
+
+def test_line_pragma_with_justification_text():
+    source = "import random  # repro-lint: disable=RL103 demo-only import\n"
+    assert lint_source(source, path="x.py") == []
+
+
+def test_line_pragma_only_suppresses_its_own_line():
+    source = (
+        "import random  # repro-lint: disable=RL103\n"
+        "import random as rnd\n"
+    )
+    diagnostics = lint_source(source, path="x.py")
+    assert [(d.line, d.code) for d in diagnostics] == [(2, "RL103")]
+
+
+def test_disable_all_sentinel():
+    source = "# repro-lint: disable-file=all\nimport random\n"
+    pragmas = Pragmas(source)
+    assert pragmas.is_disabled("RL103", 2)
+    assert lint_source(source, path="x.py") == []
+
+
+def test_pragma_inside_string_literal_is_ignored():
+    source = 'TEXT = "# repro-lint: disable-file=RL103"\nimport random\n'
+    diagnostics = lint_source(source, path="x.py")
+    assert [d.code for d in diagnostics] == ["RL103"]

@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 import repro
+from repro.engine import ProcessPoolBackend, SerialBackend, engine_context
 from repro.experiments import run_experiment
 from repro.stats import empirical_sample_complexity
 
@@ -80,3 +81,70 @@ class TestHarnessDeterminism:
         a = run_experiment("e18", scale="small", seed=2)
         b = run_experiment("e18", scale="small", seed=2)
         assert a.rows == b.rows
+
+
+class TestWorkerCountInvariance:
+    """The engine's worker count must not influence any acceptance curve.
+
+    ``monte_carlo_bits`` derives per-block spawned generators from one
+    root entropy value, so cutting the same trials into tiles and
+    mapping them over 1 vs 4 workers must reproduce the exact bit
+    matrix — and therefore the exact acceptance curve — for every
+    referee decision rule (AND, threshold, arbitrary truth table).
+    """
+
+    TRIALS_GRID = (16, 48)
+
+    @staticmethod
+    def _make_and_rule():
+        return repro.AndRuleTester(64, 0.5, k=4, q=24, calibration_trials=400)
+
+    @staticmethod
+    def _make_threshold_rule():
+        return repro.ThresholdRuleTester(64, 0.5, k=4, q=24, calibration_trials=400)
+
+    @staticmethod
+    def _make_truth_table():
+        from repro.core.players import CollisionBitPlayer
+        from repro.core.protocol import SimultaneousProtocol
+
+        referee = repro.TruthTableRule([0, 1] * 8)  # arbitrary f: {0,1}^4 -> {0,1}
+        player = CollisionBitPlayer(threshold=1)
+        return SimultaneousProtocol.homogeneous(player, 4, 24, referee)
+
+    def _curve(self, runner, backend):
+        far = repro.two_level_distribution(64, 0.5)
+        with engine_context(backend=backend, max_elements=2048):
+            return [
+                runner.acceptance_probability(far, trials, rng=7)
+                for trials in self.TRIALS_GRID
+            ]
+
+    @pytest.mark.parametrize(
+        "make_runner",
+        [_make_and_rule.__func__, _make_threshold_rule.__func__, _make_truth_table.__func__],
+        ids=["and-rule", "threshold-rule", "truth-table-rule"],
+    )
+    def test_workers_1_vs_4_identical_curves(self, make_runner):
+        runner = make_runner()
+        serial_curve = self._curve(runner, SerialBackend())
+        pool = ProcessPoolBackend(max_workers=4)
+        try:
+            parallel_curve = self._curve(runner, pool)
+        finally:
+            pool.close()
+        assert parallel_curve == serial_curve
+
+    def test_workers_1_vs_4_identical_bit_matrices(self):
+        """Stronger than the curve: the raw bit tensor matches exactly."""
+        tester = self._make_and_rule()
+        far = repro.two_level_distribution(64, 0.5)
+        with engine_context(backend=SerialBackend(), max_elements=2048):
+            serial_bits = tester.protocol.run_batch(far, 48, rng=11)
+        pool = ProcessPoolBackend(max_workers=4)
+        try:
+            with engine_context(backend=pool, max_elements=2048):
+                parallel_bits = tester.protocol.run_batch(far, 48, rng=11)
+        finally:
+            pool.close()
+        assert np.array_equal(serial_bits, parallel_bits)
