@@ -1,0 +1,77 @@
+"""Harness benchmark — serial vs. parallel-across-points on the E2 grid.
+
+Runs the E2 (Theorem 1.2, AND-rule) small-scale sweep twice through the
+declarative harness — once on ``SerialBackend``, once on
+``ProcessPoolBackend(4)`` — asserts the folded rows are bit-identical,
+and records wall times plus the speedup in ``BENCH_harness.json`` at the
+repo root.
+
+Unlike ``test_bench_engine.py`` (which parallelises *inside* one Monte
+Carlo batch), this measures the sweep-level dispatch path added by
+:func:`repro.experiments.harness.run_spec`: each sweep point is one
+backend task, so whole acceptance searches overlap.
+
+The ≥2× speedup criterion is only asserted on machines with at least 8
+CPU cores; constrained runners record the numbers without failing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.engine import ProcessPoolBackend, SerialBackend, collect_metrics, engine_context
+from repro.experiments import run_experiment
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_harness.json")
+WORKERS = 4
+
+
+def _timed_run(backend):
+    with engine_context(backend=backend):
+        with collect_metrics() as metrics:
+            start = time.perf_counter()
+            result = run_experiment("e02", scale="small", seed=0)
+            elapsed = time.perf_counter() - start
+    return result, elapsed, metrics.snapshot()
+
+
+def test_bench_harness_serial_vs_parallel_points():
+    serial_result, serial_s, serial_metrics = _timed_run(SerialBackend())
+
+    pool = ProcessPoolBackend(max_workers=WORKERS)
+    try:
+        parallel_result, parallel_s, parallel_metrics = _timed_run(pool)
+    finally:
+        pool.close()
+
+    # Determinism is unconditional: per-point RNG streams are pinned to
+    # (seed, point index), so the folded tables match bit-for-bit.
+    assert serial_result.rows == parallel_result.rows
+    assert serial_result.summary == parallel_result.summary
+    assert serial_metrics["sweep_points"] == parallel_metrics["sweep_points"]
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    payload = {
+        "benchmark": "e02-small-sweep",
+        "dispatch": "parallel-across-points",
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "rows_identical": serial_result.rows == parallel_result.rows,
+        "sweep_points": serial_metrics["sweep_points"],
+        "serial_metrics": serial_metrics,
+        "parallel_metrics": parallel_metrics,
+    }
+    with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    # The speedup target needs real cores behind the pool.
+    if (os.cpu_count() or 1) >= 2 * WORKERS:
+        assert speedup >= 2.0, payload
+    elif (os.cpu_count() or 1) >= WORKERS:
+        assert speedup >= 1.2, payload

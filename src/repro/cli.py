@@ -13,10 +13,19 @@ Four commands cover the common workflows:
 
       python -m repro complexity --tester threshold --n 1024 --k 16 --eps 0.5
 
-* ``experiment`` — run a registered experiment (E1–E17) and print its
-  regenerated table::
+* ``experiment`` — run a registered experiment (E1–E19) and print its
+  regenerated table; sweeps go through the parallel engine and can be
+  checkpointed and resumed::
 
       python -m repro experiment e05 --scale small
+      python -m repro experiment e02 --workers 4 --checkpoint-dir .ckpt
+      python -m repro experiment e02 --resume --checkpoint-dir .ckpt
+
+* ``run-all`` — run every registered experiment (or ``--only`` a
+  subset) at one scale, points dispatched through the engine::
+
+      python -m repro run-all --scale smoke
+      python -m repro run-all --scale small --workers 4 --resume
 
 * ``bounds`` — print every theorem lower bound at given parameters::
 
@@ -55,6 +64,9 @@ from .stats.complexity import empirical_sample_complexity
 TESTER_CHOICES = ("centralized", "threshold", "and")
 INPUT_CHOICES = ("uniform", "two_level", "paninski", "zipf", "heavy_hitter")
 
+#: Where ``--resume`` looks for sweep checkpoints when no directory is given.
+DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
+
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     """Monte Carlo engine flags shared by the execution commands."""
@@ -80,6 +92,34 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the acceptance cache even if --cache-dir is set",
+    )
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """Scale/seed/checkpoint flags shared by the experiment commands."""
+    parser.add_argument(
+        "--scale",
+        default="small",
+        help="named scale from the spec (smoke, small, paper, ...)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist completed sweep points under this directory",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "restore completed points from the checkpoint directory "
+            f"(default: {DEFAULT_CHECKPOINT_DIR}) instead of recomputing"
+        ),
+    )
+    parser.add_argument(
+        "--list-scales",
+        action="store_true",
+        help="list the available scales (with sweep sizes) and exit",
     )
 
 
@@ -157,12 +197,64 @@ def _cmd_complexity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolved_checkpoint_dir(args: argparse.Namespace) -> Optional[str]:
+    """The checkpoint directory implied by --checkpoint-dir/--resume."""
+    if args.checkpoint_dir is not None:
+        return args.checkpoint_dir
+    if args.resume:
+        return DEFAULT_CHECKPOINT_DIR
+    return None
+
+
+def _print_scales(experiment_ids_to_list: List[str]) -> None:
+    from .experiments import get_spec
+
+    for experiment_id in experiment_ids_to_list:
+        spec = get_spec(experiment_id)
+        scales = ", ".join(
+            f"{name} ({len(spec.plan(name))} points)" for name in spec.scale_names()
+        )
+        print(f"{spec.experiment_id}: {scales}")
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import run_experiment
 
+    if args.list_scales:
+        _print_scales([args.experiment_id])
+        return 0
     _apply_engine_options(args)
-    result = run_experiment(args.experiment_id, scale=args.scale, seed=args.seed)
+    result = run_experiment(
+        args.experiment_id,
+        scale=args.scale,
+        seed=args.seed,
+        checkpoint_dir=_resolved_checkpoint_dir(args),
+        resume=args.resume,
+    )
     print(result.render())
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from .experiments import experiment_ids, run_experiment
+
+    selected = [eid.lower() for eid in args.only] if args.only else experiment_ids()
+    if args.list_scales:
+        _print_scales(selected)
+        return 0
+    _apply_engine_options(args)
+    checkpoint_dir = _resolved_checkpoint_dir(args)
+    for experiment_id in selected:
+        result = run_experiment(
+            experiment_id,
+            scale=args.scale,
+            seed=args.seed,
+            checkpoint_dir=checkpoint_dir,
+            resume=args.resume,
+        )
+        print(result.render())
+        print()
+    print(f"ran {len(selected)} experiments at scale {args.scale!r}")
     return 0
 
 
@@ -224,11 +316,20 @@ def build_parser() -> argparse.ArgumentParser:
     complexity.set_defaults(func=_cmd_complexity)
 
     experiment = sub.add_parser("experiment", help="run a registered experiment")
-    experiment.add_argument("experiment_id", help="e01 ... e17")
-    experiment.add_argument("--scale", choices=("small", "paper"), default="small")
-    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("experiment_id", help="e01 ... e19")
+    _add_sweep_options(experiment)
     _add_engine_options(experiment)
     experiment.set_defaults(func=_cmd_experiment)
+
+    run_all = sub.add_parser(
+        "run-all", help="run every registered experiment at one scale"
+    )
+    run_all.add_argument(
+        "--only", nargs="*", default=None, help="subset of experiment ids"
+    )
+    _add_sweep_options(run_all)
+    _add_engine_options(run_all)
+    run_all.set_defaults(func=_cmd_run_all)
 
     bounds = sub.add_parser("bounds", help="print the paper's lower bounds")
     bounds.add_argument("--n", type=int, default=4096)

@@ -34,6 +34,12 @@ from .executor import (
     monte_carlo_bits,
 )
 from .metrics import EngineMetrics, collect_metrics
+from .sweep import (
+    SWEEP_SPAWN_DOMAIN,
+    map_sweep_points,
+    point_seed,
+    run_sweep_point,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -61,4 +67,8 @@ __all__ = [
     "derive_root_entropy",
     "EngineMetrics",
     "collect_metrics",
+    "SWEEP_SPAWN_DOMAIN",
+    "point_seed",
+    "run_sweep_point",
+    "map_sweep_points",
 ]

@@ -1,0 +1,119 @@
+"""Sweep-level parallel dispatch: one task per experiment sweep point.
+
+:mod:`repro.engine.executor` parallelises *inside* one Monte Carlo batch
+(tiles of trials); this module parallelises *across* the points of an
+experiment sweep — each ``(n, k, ε, ...)`` grid point becomes one backend
+task, so ``run-all --workers 8`` overlaps whole acceptance searches
+instead of only the tiles of a single estimate.
+
+Determinism contract
+--------------------
+Every sweep derives per-point generators from ``(root_seed, point
+index)`` via a dedicated :class:`numpy.random.SeedSequence` spawn-key
+domain (:data:`SWEEP_SPAWN_DOMAIN`, disjoint from the executor's
+per-block keys).  A point's payload is therefore a pure function of the
+point, the scale parameters and ``(root_seed, index)`` — independent of
+the backend, the worker count, and of which other points run (or were
+restored from a checkpoint) alongside it.
+
+Metrics from points executed in worker processes are captured in an
+isolated scope, shipped back with the payload, and merged into the
+calling process's active :class:`~repro.engine.metrics.EngineMetrics`,
+so ``run-all`` roll-ups stay correct under parallel dispatch.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .config import get_engine
+from .metrics import EngineMetrics
+
+#: First spawn-key component reserved for sweep points.  The executor's
+#: per-block seeds use single-component keys ``(block_index,)``, so a
+#: two-component key starting with this tag can never collide with them
+#: even when an experiment seed doubles as a batch root entropy.
+SWEEP_SPAWN_DOMAIN = 0x5357  # "SW"
+
+#: A per-point task: (point, params, generator) -> JSON-able payload.
+PointTask = Callable[[Mapping[str, Any], Mapping[str, Any], np.random.Generator], Any]
+
+
+def point_seed(root_seed: int, point_index: int) -> np.random.SeedSequence:
+    """The spawned seed owning sweep point ``point_index``."""
+    return np.random.SeedSequence(
+        entropy=root_seed, spawn_key=(SWEEP_SPAWN_DOMAIN, point_index)
+    )
+
+
+@contextmanager
+def _isolated_metrics() -> Iterator[EngineMetrics]:
+    """A metrics scope that does NOT auto-merge into its enclosing scope.
+
+    ``collect_metrics`` merges on exit, which would double-count a point
+    executed inline (serial backend) once the caller also merges the
+    returned snapshot.  Sweep kernels capture into this isolated scope
+    and leave the single merge to :func:`map_sweep_points`.
+    """
+    config = get_engine()
+    outer = config.metrics
+    inner = EngineMetrics()
+    config.metrics = inner
+    try:
+        yield inner
+    finally:
+        config.metrics = outer
+
+
+def run_sweep_point(
+    task: PointTask,
+    point: Mapping[str, Any],
+    params: Mapping[str, Any],
+    root_seed: int,
+    index: int,
+) -> Tuple[Any, Dict[str, float]]:
+    """Execute one sweep point with its derived generator (picklable).
+
+    Returns ``(payload, metrics_snapshot)``; the snapshot covers every
+    engine call the point performed, wherever it ran.
+    """
+    generator = np.random.default_rng(point_seed(root_seed, index))
+    with _isolated_metrics() as metrics:
+        payload = task(point, params, generator)
+    return payload, metrics.snapshot()
+
+
+def map_sweep_points(
+    task: PointTask,
+    points: Sequence[Mapping[str, Any]],
+    params: Mapping[str, Any],
+    root_seed: int,
+    indices: Sequence[int],
+) -> List[Any]:
+    """Run ``task`` over sweep points on the active backend, in order.
+
+    ``indices`` carries each point's position in the *full* sweep (the
+    sweep plan may dispatch a resumed subset), which pins its RNG stream.
+    Point metrics are merged into the active scope exactly once.
+    """
+    if len(points) != len(indices):
+        raise ValueError(
+            f"points/indices length mismatch: {len(points)} != {len(indices)}"
+        )
+    config = get_engine()
+    tasks = [
+        (task, point, params, root_seed, index)
+        for point, index in zip(points, indices)
+    ]
+    outcomes = config.backend.map_tasks(run_sweep_point, tasks)
+    metrics = config.metrics
+    payloads: List[Any] = []
+    for payload, snapshot in outcomes:
+        for name, value in snapshot.items():
+            metrics.count(name, value)
+        payloads.append(payload)
+    metrics.count("sweep_points", len(tasks))
+    return payloads

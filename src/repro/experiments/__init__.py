@@ -2,17 +2,29 @@
 
 The paper (a lower-bound paper) has no tables or figures; DESIGN.md §3
 defines experiments E1–E18, one per theorem/lemma, each regenerating the
-claim's empirical counterpart.  Every experiment is a function
-``run(scale, seed) -> ExperimentResult`` where ``scale`` is ``"small"``
-(seconds; used by the benchmark suite) or ``"paper"`` (minutes; used to
-produce EXPERIMENTS.md).
+claim's empirical counterpart.  Every experiment module declares one
+:class:`~repro.experiments.harness.ExperimentSpec` — named scales
+(``smoke``/``small``/``paper``), a sweep planner, a per-point task and a
+fold step — and the harness executes it through the parallel engine with
+checkpoint/resume support and a provenance stamp on every result.
 
 >>> from repro.experiments import run_experiment
 >>> result = run_experiment("e05", scale="small")   # doctest: +SKIP
 >>> print(result.render())                          # doctest: +SKIP
 """
 
+from .harness import ExperimentSpec, SweepCheckpoint, run_spec
 from .records import ExperimentResult
-from .registry import EXPERIMENTS, run_experiment, experiment_ids
+from .registry import EXPERIMENTS, SPECS, experiment_ids, get_spec, run_experiment
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "experiment_ids"]
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "SweepCheckpoint",
+    "run_spec",
+    "EXPERIMENTS",
+    "SPECS",
+    "experiment_ids",
+    "get_spec",
+    "run_experiment",
+]

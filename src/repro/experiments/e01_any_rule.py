@@ -10,94 +10,54 @@ three exponents, and checks the lower-bound domination row by row.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from ..core.testers import ThresholdRuleTester
-from ..exceptions import InvalidParameterError
 from ..lowerbounds.theorems import theorem_1_1_q_lower
-from ..rng import ensure_rng
 from ..stats.complexity import empirical_sample_complexity
 from ..stats.fitting import fit_power_law
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {
-        "n_sweep": [256, 1024],
-        "k_sweep": [4, 16, 64],
-        "eps_sweep": [0.5],
-        "base_n": 1024,
-        "base_k": 16,
-        "base_eps": 0.5,
-        "trials": 160,
-    },
-    "paper": {
-        "n_sweep": [256, 512, 1024, 2048, 4096],
-        "k_sweep": [1, 4, 16, 64, 256],
-        "eps_sweep": [0.3, 0.4, 0.5, 0.7],
-        "base_n": 1024,
-        "base_k": 16,
-        "base_eps": 0.5,
-        "trials": 300,
-    },
-}
+
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One point per swept value, each axis at the base of the others."""
+    points = [{"sweep": "k", "k": k} for k in params["k_sweep"]]
+    points += [{"sweep": "n", "n": n} for n in params["n_sweep"]]
+    points += [{"sweep": "eps", "eps": eps} for eps in params["eps_sweep"]]
+    return points
 
 
-def _q_star(n: int, k: int, epsilon: float, trials: int, rng) -> int:
-    result = empirical_sample_complexity(
-        lambda q: ThresholdRuleTester(n, epsilon, k, q=q),
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
+    """Measure q* at one (n, k, ε) grid point."""
+    n = int(point.get("n", params["base_n"]))
+    k = int(point.get("k", params["base_k"]))
+    eps = float(point.get("eps", params["base_eps"]))
+    q_star = empirical_sample_complexity(
+        lambda q: ThresholdRuleTester(n, eps, k, q=q),
         n=n,
-        epsilon=epsilon,
-        trials=trials,
+        epsilon=eps,
+        trials=params["trials"],
         rng=rng,
-    )
-    return result.resource_star
+    ).resource_star
+    return {
+        "sweep": point["sweep"],
+        "n": n,
+        "k": k,
+        "eps": eps,
+        "q_star": q_star,
+        "lower_bound": theorem_1_1_q_lower(n, k, eps),
+    }
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure q*(n, k, ε) for the optimal threshold-rule tester."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e01",
-        title="Theorem 1.1: q* = Θ(√(n/k)/ε²) for any decision rule",
-    )
-
-    # Sweep k at fixed (n, ε).
-    for k in params["k_sweep"]:
-        q_star = _q_star(params["base_n"], k, params["base_eps"], params["trials"], rng)
-        result.add_row(
-            sweep="k",
-            n=params["base_n"],
-            k=k,
-            eps=params["base_eps"],
-            q_star=q_star,
-            lower_bound=theorem_1_1_q_lower(params["base_n"], k, params["base_eps"]),
-        )
-    # Sweep n at fixed (k, ε).
-    for n in params["n_sweep"]:
-        q_star = _q_star(n, params["base_k"], params["base_eps"], params["trials"], rng)
-        result.add_row(
-            sweep="n",
-            n=n,
-            k=params["base_k"],
-            eps=params["base_eps"],
-            q_star=q_star,
-            lower_bound=theorem_1_1_q_lower(n, params["base_k"], params["base_eps"]),
-        )
-    # Sweep ε at fixed (n, k).
-    for eps in params["eps_sweep"]:
-        q_star = _q_star(params["base_n"], params["base_k"], eps, params["trials"], rng)
-        result.add_row(
-            sweep="eps",
-            n=params["base_n"],
-            k=params["base_k"],
-            eps=eps,
-            q_star=q_star,
-            lower_bound=theorem_1_1_q_lower(params["base_n"], params["base_k"], eps),
-        )
-
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for row in payloads:
+        result.add_row(**row)
     k_rows = [row for row in result.rows if row["sweep"] == "k"]
     n_rows = [row for row in result.rows if row["sweep"] == "n"]
     if len(k_rows) >= 2:
@@ -116,4 +76,41 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     result.notes.append(
         "q* measured by exponential+binary search at success target 2/3 + margin"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e01",
+    title="Theorem 1.1: q* = Θ(√(n/k)/ε²) for any decision rule",
+    scales={
+        "smoke": {
+            "n_sweep": [64, 256],
+            "k_sweep": [4, 16],
+            "eps_sweep": [0.5],
+            "base_n": 256,
+            "base_k": 8,
+            "base_eps": 0.5,
+            "trials": 40,
+        },
+        "small": {
+            "n_sweep": [256, 1024],
+            "k_sweep": [4, 16, 64],
+            "eps_sweep": [0.5],
+            "base_n": 1024,
+            "base_k": 16,
+            "base_eps": 0.5,
+            "trials": 160,
+        },
+        "paper": {
+            "n_sweep": [256, 512, 1024, 2048, 4096],
+            "k_sweep": [1, 4, 16, 64, 256],
+            "eps_sweep": [0.3, 0.4, 0.5, 0.7],
+            "base_n": 1024,
+            "base_k": 16,
+            "base_eps": 0.5,
+            "trials": 300,
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

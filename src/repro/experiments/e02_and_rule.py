@@ -9,58 +9,77 @@ scaling-exponent gap between the two rules on the same grid.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from ..core.testers import AndRuleTester, ThresholdRuleTester
-from ..exceptions import InvalidParameterError
 from ..lowerbounds.theorems import theorem_1_2_q_lower
-from ..rng import ensure_rng
 from ..stats.complexity import empirical_sample_complexity
 from ..stats.fitting import fit_power_law
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"n": 1024, "eps": 0.5, "k_sweep": [2, 8, 32], "trials": 160},
-    "paper": {"n": 4096, "eps": 0.5, "k_sweep": [2, 4, 8, 16, 32, 64], "trials": 300},
-}
+
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One point per network width, plus the exact q=1 impossibility check."""
+    points: List[Dict[str, Any]] = [{"kind": "k", "k": k} for k in params["k_sweep"]]
+    points.append({"kind": "impossibility"})
+    return points
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure q*(k) under the AND rule vs the threshold rule."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
     n, eps = params["n"], params["eps"]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e02",
-        title="Theorem 1.2: AND rule costs ~centralized samples (no √k gain)",
-    )
+    if point["kind"] == "impossibility":
+        # The paper's companion remark: at q = 1 the AND rule cannot test
+        # uniformity at all.  Verified exhaustively over every
+        # deterministic player table on a small universe.
+        from ..lowerbounds.impossibility import verify_q1_and_impossibility
 
-    for k in params["k_sweep"]:
-        and_q = empirical_sample_complexity(
-            lambda q: AndRuleTester(n, eps, k, q=q),
-            n=n,
-            epsilon=eps,
-            trials=params["trials"],
-            rng=rng,
-        ).resource_star
-        threshold_q = empirical_sample_complexity(
-            lambda q: ThresholdRuleTester(n, eps, k, q=q),
-            n=n,
-            epsilon=eps,
-            trials=params["trials"],
-            rng=rng,
-        ).resource_star
-        result.add_row(
-            n=n,
-            k=k,
-            eps=eps,
-            and_q_star=and_q,
-            threshold_q_star=threshold_q,
-            and_over_threshold=and_q / threshold_q,
-            and_lower_bound=theorem_1_2_q_lower(n, k, eps, regime_constant=4.0),
-        )
+        impossibility = verify_q1_and_impossibility(8, eps if eps < 1 else 0.5)
+        return {
+            "kind": "impossibility",
+            "impossibility_holds": bool(impossibility.impossibility_holds),
+            "violations": impossibility.violations,
+        }
+    k = int(point["k"])
+    and_q = empirical_sample_complexity(
+        lambda q: AndRuleTester(n, eps, k, q=q),
+        n=n,
+        epsilon=eps,
+        trials=params["trials"],
+        rng=rng,
+    ).resource_star
+    threshold_q = empirical_sample_complexity(
+        lambda q: ThresholdRuleTester(n, eps, k, q=q),
+        n=n,
+        epsilon=eps,
+        trials=params["trials"],
+        rng=rng,
+    ).resource_star
+    return {
+        "kind": "k",
+        "n": n,
+        "k": k,
+        "eps": eps,
+        "and_q_star": and_q,
+        "threshold_q_star": threshold_q,
+        "and_over_threshold": and_q / threshold_q,
+        "and_lower_bound": theorem_1_2_q_lower(n, k, eps, regime_constant=4.0),
+    }
+
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    impossibility = next(p for p in payloads if p["kind"] == "impossibility")
+    for payload in payloads:
+        if payload["kind"] != "k":
+            continue
+        row = dict(payload)
+        row.pop("kind")
+        result.add_row(**row)
 
     ks = [row["k"] for row in result.rows]
     and_fit = fit_power_law(ks, [row["and_q_star"] for row in result.rows])
@@ -77,16 +96,10 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     result.summary["and_lower_bound_dominated"] = all(
         row["and_q_star"] >= row["and_lower_bound"] for row in result.rows
     )
-    # The paper's companion remark: at q = 1 the AND rule cannot test
-    # uniformity at all.  Verified exhaustively over every deterministic
-    # player table on a small universe.
-    from ..lowerbounds.impossibility import verify_q1_and_impossibility
-
-    impossibility = verify_q1_and_impossibility(8, eps if eps < 1 else 0.5)
     result.summary["q1_and_rule_impossible (remark; expect True)"] = (
-        impossibility.impossibility_holds
+        impossibility["impossibility_holds"]
     )
-    result.summary["q1_jensen_violations (expect 0)"] = impossibility.violations
+    result.summary["q1_jensen_violations (expect 0)"] = impossibility["violations"]
     result.notes.append(
         "AND player bits calibrated to false-alarm probability 1/(3k) per player"
     )
@@ -99,4 +112,22 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         "q*(k) is not flat; the locality tax is the AND/threshold multiple, "
         "which the paper predicts diverges as ε shrinks"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e02",
+    title="Theorem 1.2: AND rule costs ~centralized samples (no √k gain)",
+    scales={
+        "smoke": {"n": 256, "eps": 0.5, "k_sweep": [2, 8], "trials": 40},
+        "small": {"n": 1024, "eps": 0.5, "k_sweep": [2, 8, 32], "trials": 160},
+        "paper": {
+            "n": 4096,
+            "eps": 0.5,
+            "k_sweep": [2, 4, 8, 16, 32, 64],
+            "trials": 300,
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

@@ -8,70 +8,71 @@ should fall roughly like 1/T before saturating at the optimal level.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from ..core.testers import ThresholdRuleTester
 from ..exceptions import InvalidParameterError
 from ..lowerbounds.theorems import theorem_1_3_q_lower
-from ..rng import ensure_rng
 from ..stats.complexity import empirical_sample_complexity
 from ..stats.fitting import fit_power_law
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"n": 1024, "eps": 0.5, "k": 30, "T_sweep": [1, 2, 4], "trials": 160},
-    "paper": {
-        "n": 4096,
-        "eps": 0.5,
-        "k": 60,
-        "T_sweep": [1, 2, 4, 8, 16],
-        "trials": 300,
-    },
-}
+
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The free-threshold baseline plus one point per forced T."""
+    points: List[Dict[str, Any]] = [{"kind": "baseline"}]
+    points += [{"kind": "T", "T": T} for T in params["T_sweep"]]
+    return points
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure q*(T) for the forced-threshold tester."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
     n, eps, k = params["n"], params["eps"], params["k"]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e03",
-        title="Theorem 1.3: T-threshold rule costs Ω(√n/(T·polylog·ε²))",
-    )
-
-    baseline_q = empirical_sample_complexity(
-        lambda q: ThresholdRuleTester(n, eps, k, q=q),
-        n=n,
-        epsilon=eps,
-        trials=params["trials"],
-        rng=rng,
-    ).resource_star
-
-    q_cap = int(64 * n**0.5 / eps**2)
-    for T in params["T_sweep"]:
-        forced_q = empirical_sample_complexity(
-            lambda q: ThresholdRuleTester(n, eps, k, q=q, forced_T=T),
+    if point["kind"] == "baseline":
+        baseline_q = empirical_sample_complexity(
+            lambda q: ThresholdRuleTester(n, eps, k, q=q),
             n=n,
             epsilon=eps,
             trials=params["trials"],
-            q_max=q_cap,
             rng=rng,
         ).resource_star
-        try:
-            bound = theorem_1_3_q_lower(n, k, eps, T, regime_constant=16.0)
-        except InvalidParameterError:
-            bound = float("nan")
+        return {"kind": "baseline", "q_star": baseline_q}
+    T = int(point["T"])
+    q_cap = int(64 * n**0.5 / eps**2)
+    forced_q = empirical_sample_complexity(
+        lambda q: ThresholdRuleTester(n, eps, k, q=q, forced_T=T),
+        n=n,
+        epsilon=eps,
+        trials=params["trials"],
+        q_max=q_cap,
+        rng=rng,
+    ).resource_star
+    try:
+        bound = theorem_1_3_q_lower(n, k, eps, T, regime_constant=16.0)
+    except InvalidParameterError:
+        bound = float("nan")
+    return {"kind": "T", "T": T, "q_star": forced_q, "lower_bound": bound}
+
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    n, eps, k = params["n"], params["eps"], params["k"]
+    baseline_q = next(p for p in payloads if p["kind"] == "baseline")["q_star"]
+    for payload in payloads:
+        if payload["kind"] != "T":
+            continue
         result.add_row(
             n=n,
             k=k,
             eps=eps,
-            T=T,
-            q_star=forced_q,
-            q_over_optimal=forced_q / baseline_q,
-            lower_bound=bound,
+            T=payload["T"],
+            q_star=payload["q_star"],
+            q_over_optimal=payload["q_star"] / baseline_q,
+            lower_bound=payload["lower_bound"],
         )
 
     result.summary["optimal_rule_q_star"] = baseline_q
@@ -84,4 +85,23 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     result.notes.append(
         "forced-T player bits calibrated so E[#false alarms under U_n] <= T/3"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e03",
+    title="Theorem 1.3: T-threshold rule costs Ω(√n/(T·polylog·ε²))",
+    scales={
+        "smoke": {"n": 256, "eps": 0.5, "k": 16, "T_sweep": [1, 2], "trials": 40},
+        "small": {"n": 1024, "eps": 0.5, "k": 30, "T_sweep": [1, 2, 4], "trials": 160},
+        "paper": {
+            "n": 4096,
+            "eps": 0.5,
+            "k": 60,
+            "T_sweep": [1, 2, 4, 8, 16],
+            "trials": 300,
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

@@ -11,7 +11,7 @@ by row.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -19,30 +19,9 @@ from ..core.learning import HitCountingLearner
 from ..distributions.families import PaninskiFamily
 from ..exceptions import InvalidParameterError
 from ..lowerbounds.theorems import theorem_1_4_k_lower
-from ..rng import ensure_rng
 from ..stats.fitting import fit_power_law
+from .harness import ExperimentSpec
 from .records import ExperimentResult
-
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {
-        "n_sweep": [8, 16],
-        "q_sweep": [1, 2, 4],
-        "base_n": 16,
-        "base_q": 2,
-        "delta": 0.30,
-        "eps": 0.6,
-        "repetitions": 15,
-    },
-    "paper": {
-        "n_sweep": [8, 16, 32, 64],
-        "q_sweep": [1, 2, 4, 8, 16],
-        "base_n": 32,
-        "base_q": 2,
-        "delta": 0.30,
-        "eps": 0.6,
-        "repetitions": 31,
-    },
-}
 
 
 def _median_error(n: int, k: int, q: int, epsilon: float, repetitions: int, rng) -> float:
@@ -78,41 +57,35 @@ def delta_safe_epsilon(epsilon: float) -> float:
     return epsilon
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure k*(n, q) for one-bit distribution learning."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e04",
-        title="Theorem 1.4: learning needs k = Ω(n²/q²) one-bit players",
-    )
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One k*-search per swept n, then per swept q, at the fixed bases."""
+    points = [{"sweep": "n", "n": n} for n in params["n_sweep"]]
+    points += [{"sweep": "q", "q": q} for q in params["q_sweep"]]
+    return points
 
-    for n in params["n_sweep"]:
-        k_star = _k_star(
-            n, params["base_q"], params["delta"], params["eps"], params["repetitions"], rng
-        )
-        result.add_row(
-            sweep="n",
-            n=n,
-            q=params["base_q"],
-            delta=params["delta"],
-            k_star=k_star,
-            lower_bound=theorem_1_4_k_lower(n, params["base_q"]),
-        )
-    for q in params["q_sweep"]:
-        k_star = _k_star(
-            params["base_n"], q, params["delta"], params["eps"], params["repetitions"], rng
-        )
-        result.add_row(
-            sweep="q",
-            n=params["base_n"],
-            q=q,
-            delta=params["delta"],
-            k_star=k_star,
-            lower_bound=theorem_1_4_k_lower(params["base_n"], q),
-        )
+
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
+    n = int(point.get("n", params["base_n"]))
+    q = int(point.get("q", params["base_q"]))
+    k_star = _k_star(n, q, params["delta"], params["eps"], params["repetitions"], rng)
+    return {
+        "sweep": point["sweep"],
+        "n": n,
+        "q": q,
+        "delta": params["delta"],
+        "k_star": k_star,
+        "lower_bound": theorem_1_4_k_lower(n, q),
+    }
+
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for row in payloads:
+        result.add_row(**row)
 
     n_rows = [row for row in result.rows if row["sweep"] == "n"]
     q_rows = [row for row in result.rows if row["sweep"] == "q"]
@@ -132,4 +105,41 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         "Ω(n²/q²) is a lower bound — domination, not matching, is the check "
         "for q > 1 (they coincide at q = 1, the regime of [1])"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e04",
+    title="Theorem 1.4: learning needs k = Ω(n²/q²) one-bit players",
+    scales={
+        "smoke": {
+            "n_sweep": [8],
+            "q_sweep": [1, 2],
+            "base_n": 8,
+            "base_q": 1,
+            "delta": 0.35,
+            "eps": 0.6,
+            "repetitions": 7,
+        },
+        "small": {
+            "n_sweep": [8, 16],
+            "q_sweep": [1, 2, 4],
+            "base_n": 16,
+            "base_q": 2,
+            "delta": 0.30,
+            "eps": 0.6,
+            "repetitions": 15,
+        },
+        "paper": {
+            "n_sweep": [8, 16, 32, 64],
+            "q_sweep": [1, 2, 4, 8, 16],
+            "base_n": 32,
+            "base_q": 2,
+            "delta": 0.30,
+            "eps": 0.6,
+            "repetitions": 31,
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

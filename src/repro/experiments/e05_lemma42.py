@@ -11,79 +11,105 @@ Lemma 4.1 Fourier identity to machine precision.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from ..distributions.families import PaninskiFamily
-from ..exceptions import InvalidParameterError
 from ..lowerbounds.lemma_engine import (
     check_lemma_4_2,
     check_lemma_5_1,
     lemma_4_1_identity_gap,
     standard_g_suite,
 )
-from ..rng import ensure_rng
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"halves": [2, 3], "qs": [1, 2], "epsilons": [0.3, 0.6]},
-    "paper": {"halves": [2, 3, 4], "qs": [1, 2, 3], "epsilons": [0.2, 0.4, 0.6, 0.8]},
-}
+
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One exhaustive check per (n/2, q, ε) cell of the grid."""
+    return [
+        {"half": half, "q": q, "eps": eps}
+        for half in params["halves"]
+        for q in params["qs"]
+        for eps in params["epsilons"]
+    ]
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Check Lemmas 4.2/5.1 and the Lemma 4.1 identity exhaustively."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e05",
-        title="Lemmas 4.2/5.1: second-moment bound on a player's bias shift",
-    )
-
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
+    """Check every g in the standard suite at one (n, q, ε) cell."""
+    half, q, eps = int(point["half"]), int(point["q"]), float(point["eps"])
+    family = PaninskiFamily(2 * half, eps)
+    rows: List[Dict[str, Any]] = []
+    checked = 0
     violations_42 = 0
     violations_42_literal = 0
     violations_51 = 0
-    checked = 0
     max_identity_gap = 0.0
     worst_ratio_42 = 0.0
-    for half in params["halves"]:
-        for q in params["qs"]:
-            for eps in params["epsilons"]:
-                family = PaninskiFamily(2 * half, eps)
-                for label, g in standard_g_suite(family, q, rng):
-                    check42 = check_lemma_4_2(g, family, q)
-                    literal42 = check_lemma_4_2(g, family, q, linear_coefficient=1.0)
-                    check51 = check_lemma_5_1(g, family, q)
-                    z = family.random_z(rng)
-                    gap = lemma_4_1_identity_gap(g, family, q, z)
-                    max_identity_gap = max(max_identity_gap, gap)
-                    checked += 1
-                    if check42.condition_met and not check42.holds:
-                        violations_42 += 1
-                    if literal42.condition_met and not literal42.holds:
-                        violations_42_literal += 1
-                    if check51.condition_met and not check51.holds:
-                        violations_51 += 1
-                    if check42.condition_met and check42.rhs > 0:
-                        worst_ratio_42 = max(worst_ratio_42, check42.lhs / check42.rhs)
-                    result.add_row(
-                        n=family.n,
-                        q=q,
-                        eps=eps,
-                        g=label,
-                        lhs_42=check42.lhs,
-                        rhs_42=check42.rhs,
-                        in_regime=check42.condition_met,
-                        holds=check42.holds or not check42.condition_met,
-                    )
+    for label, g in standard_g_suite(family, q, rng):
+        check42 = check_lemma_4_2(g, family, q)
+        literal42 = check_lemma_4_2(g, family, q, linear_coefficient=1.0)
+        check51 = check_lemma_5_1(g, family, q)
+        z = family.random_z(rng)
+        gap = lemma_4_1_identity_gap(g, family, q, z)
+        max_identity_gap = max(max_identity_gap, gap)
+        checked += 1
+        if check42.condition_met and not check42.holds:
+            violations_42 += 1
+        if literal42.condition_met and not literal42.holds:
+            violations_42_literal += 1
+        if check51.condition_met and not check51.holds:
+            violations_51 += 1
+        if check42.condition_met and check42.rhs > 0:
+            worst_ratio_42 = max(worst_ratio_42, check42.lhs / check42.rhs)
+        rows.append(
+            {
+                "n": family.n,
+                "q": q,
+                "eps": eps,
+                "g": label,
+                "lhs_42": check42.lhs,
+                "rhs_42": check42.rhs,
+                "in_regime": check42.condition_met,
+                "holds": check42.holds or not check42.condition_met,
+            }
+        )
+    return {
+        "rows": rows,
+        "checked": checked,
+        "violations_42": violations_42,
+        "violations_42_literal": violations_42_literal,
+        "violations_51": violations_51,
+        "max_identity_gap": max_identity_gap,
+        "worst_ratio_42": worst_ratio_42,
+    }
 
-    result.summary["instances_checked"] = checked
-    result.summary["lemma_4_2_violations (corrected constant; expect 0)"] = violations_42
-    result.summary["lemma_4_2_violations_literal_constant"] = violations_42_literal
-    result.summary["lemma_5_1_violations (paper: 0)"] = violations_51
-    result.summary["max_lemma_4_1_identity_gap (≈0)"] = max_identity_gap
-    result.summary["tightest_lemma_4_2_ratio"] = worst_ratio_42
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for payload in payloads:
+        for row in payload["rows"]:
+            result.add_row(**row)
+
+    result.summary["instances_checked"] = sum(p["checked"] for p in payloads)
+    result.summary["lemma_4_2_violations (corrected constant; expect 0)"] = sum(
+        p["violations_42"] for p in payloads
+    )
+    result.summary["lemma_4_2_violations_literal_constant"] = sum(
+        p["violations_42_literal"] for p in payloads
+    )
+    result.summary["lemma_5_1_violations (paper: 0)"] = sum(
+        p["violations_51"] for p in payloads
+    )
+    result.summary["max_lemma_4_1_identity_gap (≈0)"] = max(
+        p["max_identity_gap"] for p in payloads
+    )
+    result.summary["tightest_lemma_4_2_ratio"] = max(
+        p["worst_ratio_42"] for p in payloads
+    )
     result.notes.append(
         "LHS computed exactly by enumerating all 2^(n/2) perturbation vectors"
     )
@@ -93,4 +119,21 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         "(exact ratio 2/(1+20ε²)); coefficient 2 restores the bound on every "
         "instance — see lemma_engine.LEMMA_4_2_LINEAR_COEFFICIENT"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e05",
+    title="Lemmas 4.2/5.1: second-moment bound on a player's bias shift",
+    scales={
+        "smoke": {"halves": [2], "qs": [1], "epsilons": [0.3, 0.6]},
+        "small": {"halves": [2, 3], "qs": [1, 2], "epsilons": [0.3, 0.6]},
+        "paper": {
+            "halves": [2, 3, 4],
+            "qs": [1, 2, 3],
+            "epsilons": [0.2, 0.4, 0.6, 0.8],
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

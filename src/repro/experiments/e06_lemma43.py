@@ -10,10 +10,9 @@ varies with the bias — the mechanism behind Theorem 1.2.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from ..distributions.families import PaninskiFamily
-from ..exceptions import InvalidParameterError
 from ..lowerbounds.lemma_engine import (
     check_lemma_4_3,
     check_lemma_4_4,
@@ -23,79 +22,90 @@ from ..lowerbounds.lemma_engine import (
     random_g,
     var_of_g,
 )
-from ..rng import ensure_rng
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"halves": [2, 3], "qs": [2], "epsilons": [0.3], "ms": [1, 2], "biases": [0.9, 0.99]},
-    "paper": {
-        "halves": [2, 3, 4],
-        "qs": [2, 3],
-        "epsilons": [0.2, 0.3],
-        "ms": [1, 2, 3],
-        "biases": [0.8, 0.9, 0.97, 0.99, 0.999],
-    },
-}
+
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One exhaustive check per (n/2, q, ε) cell of the grid."""
+    return [
+        {"half": half, "q": q, "eps": eps}
+        for half in params["halves"]
+        for q in params["qs"]
+        for eps in params["epsilons"]
+    ]
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Check Lemma 4.3 exhaustively on biased player tables."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e06",
-        title="Lemma 4.3: biased bits (AND-rule regime) leak even less",
-    )
-
-    violations = 0
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
+    """Check Lemmas 4.3/4.4 over the biased-table suite at one cell."""
+    half, q, eps = int(point["half"]), int(point["q"]), float(point["eps"])
+    family = PaninskiFamily(2 * half, eps)
+    tables = [
+        ("collision_le_1", collision_threshold_g(family, q, 1)),
+        ("collision_le_2", collision_threshold_g(family, q, 2)),
+    ] + [
+        (f"random_bias_{bias}", random_g(family, q, bias, rng))
+        for bias in params["biases"]
+    ]
+    rows: List[Dict[str, Any]] = []
     checked = 0
+    violations = 0
     lemma_4_4_violations = 0
     lemma_4_4_max_constant = 0.0
-    for half in params["halves"]:
-        for q in params["qs"]:
-            for eps in params["epsilons"]:
-                family = PaninskiFamily(2 * half, eps)
-                tables = [
-                    ("collision_le_1", collision_threshold_g(family, q, 1)),
-                    ("collision_le_2", collision_threshold_g(family, q, 2)),
-                ] + [
-                    (f"random_bias_{bias}", random_g(family, q, bias, rng))
-                    for bias in params["biases"]
-                ]
-                for label, g in tables:
-                    for m in params["ms"]:
-                        check = check_lemma_4_3(g, family, q, m)
-                        checked += 1
-                        if check.condition_met and not check.holds:
-                            violations += 1
-                        check44 = check_lemma_4_4(g, family, q, m, constant=1.0)
-                        if check44.condition_met and not check44.holds:
-                            lemma_4_4_violations += 1
-                        lemma_4_4_max_constant = max(
-                            lemma_4_4_max_constant,
-                            lemma_4_4_required_constant(g, family, q, m),
-                        )
-                        result.add_row(
-                            n=family.n,
-                            q=q,
-                            eps=eps,
-                            m=m,
-                            g=label,
-                            mu=mu_of_g(g),
-                            var=var_of_g(g),
-                            lhs=check.lhs,
-                            rhs=check.rhs,
-                            in_regime=check.condition_met,
-                            holds=check.holds or not check.condition_met,
-                        )
+    for label, g in tables:
+        for m in params["ms"]:
+            check = check_lemma_4_3(g, family, q, m)
+            checked += 1
+            if check.condition_met and not check.holds:
+                violations += 1
+            check44 = check_lemma_4_4(g, family, q, m, constant=1.0)
+            if check44.condition_met and not check44.holds:
+                lemma_4_4_violations += 1
+            lemma_4_4_max_constant = max(
+                lemma_4_4_max_constant,
+                lemma_4_4_required_constant(g, family, q, m),
+            )
+            rows.append(
+                {
+                    "n": family.n,
+                    "q": q,
+                    "eps": eps,
+                    "m": m,
+                    "g": label,
+                    "mu": mu_of_g(g),
+                    "var": var_of_g(g),
+                    "lhs": check.lhs,
+                    "rhs": check.rhs,
+                    "in_regime": check.condition_met,
+                    "holds": check.holds or not check.condition_met,
+                }
+            )
+    return {
+        "rows": rows,
+        "checked": checked,
+        "violations": violations,
+        "lemma_4_4_violations": lemma_4_4_violations,
+        "lemma_4_4_max_constant": lemma_4_4_max_constant,
+    }
 
-    result.summary["instances_checked"] = checked
-    result.summary["violations (paper: 0)"] = violations
-    result.summary["lemma_4_4_violations (paper: 0)"] = lemma_4_4_violations
-    result.summary["lemma_4_4_required_constant (paper: some C>0)"] = (
-        lemma_4_4_max_constant
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for payload in payloads:
+        for row in payload["rows"]:
+            result.add_row(**row)
+
+    result.summary["instances_checked"] = sum(p["checked"] for p in payloads)
+    result.summary["violations (paper: 0)"] = sum(p["violations"] for p in payloads)
+    result.summary["lemma_4_4_violations (paper: 0)"] = sum(
+        p["lemma_4_4_violations"] for p in payloads
+    )
+    result.summary["lemma_4_4_required_constant (paper: some C>0)"] = max(
+        p["lemma_4_4_max_constant"] for p in payloads
     )
     result.notes.append(
         "Lemma 4.4's first term 2ε²q/n·var(G) alone covers every enumerable "
@@ -106,4 +116,35 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         "LHS is |E_z[ν_z(G)] − μ(G)| computed exactly over all z; RHS is the "
         "Lemma 4.3 formula with the stated regime condition on q"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e06",
+    title="Lemma 4.3: biased bits (AND-rule regime) leak even less",
+    scales={
+        "smoke": {
+            "halves": [2],
+            "qs": [2],
+            "epsilons": [0.3],
+            "ms": [1],
+            "biases": [0.9],
+        },
+        "small": {
+            "halves": [2, 3],
+            "qs": [2],
+            "epsilons": [0.3],
+            "ms": [1, 2],
+            "biases": [0.9, 0.99],
+        },
+        "paper": {
+            "halves": [2, 3, 4],
+            "qs": [2, 3],
+            "epsilons": [0.2, 0.3],
+            "ms": [1, 2, 3],
+            "biases": [0.8, 0.9, 0.97, 0.99, 0.999],
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

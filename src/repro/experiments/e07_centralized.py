@@ -7,75 +7,50 @@ and ε and fit both exponents (expected +0.5 and −2).
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from ..core.testers import CentralizedCollisionTester
-from ..exceptions import InvalidParameterError
 from ..lowerbounds.theorems import centralized_q_lower
-from ..rng import ensure_rng
 from ..stats.complexity import empirical_sample_complexity
 from ..stats.fitting import fit_power_law
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {
-        "n_sweep": [64, 256, 1024],
-        "eps_sweep": [0.4, 0.6],
-        "base_n": 256,
-        "base_eps": 0.5,
-        "trials": 200,
-    },
-    "paper": {
-        "n_sweep": [64, 256, 1024, 4096, 16384],
-        "eps_sweep": [0.25, 0.35, 0.5, 0.7],
-        "base_n": 1024,
-        "base_eps": 0.5,
-        "trials": 400,
-    },
-}
+
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One q*-search per swept n, then per swept ε, at the fixed bases."""
+    points = [{"sweep": "n", "n": n} for n in params["n_sweep"]]
+    points += [{"sweep": "eps", "eps": eps} for eps in params["eps_sweep"]]
+    return points
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure the classical centralized sample complexity."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e07",
-        title="Centralized baseline: q* = Θ(√n/ε²) (Paninski)",
-    )
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
+    n = int(point.get("n", params["base_n"]))
+    eps = float(point.get("eps", params["base_eps"]))
+    q_star = empirical_sample_complexity(
+        lambda q: CentralizedCollisionTester(n, eps, q=q),
+        n=n,
+        epsilon=eps,
+        trials=params["trials"],
+        rng=rng,
+    ).resource_star
+    return {
+        "sweep": point["sweep"],
+        "n": n,
+        "eps": eps,
+        "q_star": q_star,
+        "lower_bound": centralized_q_lower(n, eps),
+    }
 
-    for n in params["n_sweep"]:
-        q_star = empirical_sample_complexity(
-            lambda q: CentralizedCollisionTester(n, params["base_eps"], q=q),
-            n=n,
-            epsilon=params["base_eps"],
-            trials=params["trials"],
-            rng=rng,
-        ).resource_star
-        result.add_row(
-            sweep="n",
-            n=n,
-            eps=params["base_eps"],
-            q_star=q_star,
-            lower_bound=centralized_q_lower(n, params["base_eps"]),
-        )
-    for eps in params["eps_sweep"]:
-        q_star = empirical_sample_complexity(
-            lambda q: CentralizedCollisionTester(params["base_n"], eps, q=q),
-            n=params["base_n"],
-            epsilon=eps,
-            trials=params["trials"],
-            rng=rng,
-        ).resource_star
-        result.add_row(
-            sweep="eps",
-            n=params["base_n"],
-            eps=eps,
-            q_star=q_star,
-            lower_bound=centralized_q_lower(params["base_n"], eps),
-        )
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for row in payloads:
+        result.add_row(**row)
 
     n_rows = [row for row in result.rows if row["sweep"] == "n"]
     eps_rows = [row for row in result.rows if row["sweep"] == "eps"]
@@ -89,4 +64,35 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     result.summary["lower_bound_dominated"] = all(
         row["q_star"] >= row["lower_bound"] for row in result.rows
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e07",
+    title="Centralized baseline: q* = Θ(√n/ε²) (Paninski)",
+    scales={
+        "smoke": {
+            "n_sweep": [64, 256],
+            "eps_sweep": [0.4],
+            "base_n": 64,
+            "base_eps": 0.5,
+            "trials": 60,
+        },
+        "small": {
+            "n_sweep": [64, 256, 1024],
+            "eps_sweep": [0.4, 0.6],
+            "base_n": 256,
+            "base_eps": 0.5,
+            "trials": 200,
+        },
+        "paper": {
+            "n_sweep": [64, 256, 1024, 4096, 16384],
+            "eps_sweep": [0.25, 0.35, 0.5, 0.7],
+            "base_n": 1024,
+            "base_eps": 0.5,
+            "trials": 400,
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

@@ -15,47 +15,27 @@ k*(ℓ) must decrease with the message length.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from ..core.testers import PairwiseHashTester, SimulationTester
-from ..exceptions import InvalidParameterError
 from ..lowerbounds.theorems import single_sample_k_lower
-from ..rng import ensure_rng
 from ..stats.complexity import empirical_player_complexity
 from ..stats.fitting import fit_power_law
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {
-        "n_sweep": [16, 32],
-        "bits_sweep": [1, 2],
-        "base_n": 32,
-        "eps": 0.6,
-        "trials": 200,
-    },
-    "paper": {
-        "n_sweep": [16, 32, 64, 128],
-        "bits_sweep": [1, 2, 3, 4],
-        "base_n": 64,
-        "eps": 0.6,
-        "trials": 250,
-    },
-}
+
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One k*-search per swept n (both protocols), then per message length."""
+    points = [{"sweep": "n", "n": n} for n in params["n_sweep"]]
+    points += [{"sweep": "bits", "bits": bits} for bits in params["bits_sweep"]]
+    return points
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure k*(n, ℓ) for single-sample protocols."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
     eps = params["eps"]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e08",
-        title="Single-sample regime [1]: k* vs n and message length",
-    )
-
-    for n in params["n_sweep"]:
+    if point["sweep"] == "n":
+        n = int(point["n"])
         hash_k = empirical_player_complexity(
             lambda k: PairwiseHashTester(n, eps, k, message_bits=1),
             n=n,
@@ -72,33 +52,42 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
             k_min=8,
             rng=rng,
         ).resource_star
-        result.add_row(
-            sweep="n",
-            n=n,
-            bits=1,
-            hash_k_star=hash_k,
-            simulation_k_star=sim_k,
-            lower_bound=single_sample_k_lower(n, eps),
-        )
+        return {
+            "sweep": "n",
+            "n": n,
+            "bits": 1,
+            "hash_k_star": hash_k,
+            "simulation_k_star": sim_k,
+            "lower_bound": single_sample_k_lower(n, eps),
+        }
+    bits = int(point["bits"])
+    n = int(params["base_n"])
+    hash_k = empirical_player_complexity(
+        lambda k: PairwiseHashTester(n, eps, k, message_bits=bits),
+        n=n,
+        epsilon=eps,
+        trials=params["trials"],
+        k_min=8,
+        rng=rng,
+    ).resource_star
+    return {
+        "sweep": "bits",
+        "n": n,
+        "bits": bits,
+        "hash_k_star": hash_k,
+        "simulation_k_star": float("nan"),
+        "lower_bound": single_sample_k_lower(n, eps, message_bits=bits),
+    }
 
-    for bits in params["bits_sweep"]:
-        n = params["base_n"]
-        hash_k = empirical_player_complexity(
-            lambda k: PairwiseHashTester(n, eps, k, message_bits=bits),
-            n=n,
-            epsilon=eps,
-            trials=params["trials"],
-            k_min=8,
-            rng=rng,
-        ).resource_star
-        result.add_row(
-            sweep="bits",
-            n=n,
-            bits=bits,
-            hash_k_star=hash_k,
-            simulation_k_star=float("nan"),
-            lower_bound=single_sample_k_lower(n, eps, message_bits=bits),
-        )
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for row in payloads:
+        result.add_row(**row)
 
     n_rows = [row for row in result.rows if row["sweep"] == "n"]
     if len(n_rows) >= 2:
@@ -118,4 +107,35 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     result.summary["lower_bound_dominated"] = all(
         row["hash_k_star"] >= row["lower_bound"] for row in result.rows
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e08",
+    title="Single-sample regime [1]: k* vs n and message length",
+    scales={
+        "smoke": {
+            "n_sweep": [16],
+            "bits_sweep": [1, 2],
+            "base_n": 16,
+            "eps": 0.6,
+            "trials": 60,
+        },
+        "small": {
+            "n_sweep": [16, 32],
+            "bits_sweep": [1, 2],
+            "base_n": 32,
+            "eps": 0.6,
+            "trials": 200,
+        },
+        "paper": {
+            "n_sweep": [16, 32, 64, 128],
+            "bits_sweep": [1, 2, 3, 4],
+            "base_n": 64,
+            "eps": 0.6,
+            "trials": 250,
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

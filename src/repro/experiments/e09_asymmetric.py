@@ -17,14 +17,9 @@ import numpy as np
 from ..core.tradeoffs import AsymmetricRateTester, rate_profile_norm
 from ..exceptions import InvalidParameterError
 from ..lowerbounds.theorems import asymmetric_tau_lower
-from ..rng import ensure_rng
 from ..stats.complexity import default_far_distributions, success_at
+from .harness import ExperimentSpec
 from .records import ExperimentResult
-
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"n": 1024, "eps": 0.5, "k": 16, "trials": 150},
-    "paper": {"n": 4096, "eps": 0.5, "k": 32, "trials": 300},
-}
 
 
 def rate_profiles(k: int) -> Dict[str, np.ndarray]:
@@ -68,31 +63,36 @@ def _tau_star(n, eps, rates, trials, rng) -> float:
     return high
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure τ* across rate profiles and check the ‖T‖₂ law."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One τ*-search per rate-profile shape."""
+    return [{"profile": label} for label in rate_profiles(params["k"])]
+
+
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
     n, eps, k = params["n"], params["eps"], params["k"]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e09",
-        title="Section 6.2: τ* = Θ(√n/(ε²·‖T‖₂)), shape-independent",
-    )
+    label = point["profile"]
+    rates = rate_profiles(k)[label]
+    tau_star = _tau_star(n, eps, rates, params["trials"], rng)
+    norm = rate_profile_norm(rates)
+    return {
+        "profile": label,
+        "norm": norm,
+        "tau_star": tau_star,
+        "tau_norm_product": tau_star * norm,
+        "lower_bound": asymmetric_tau_lower(n, eps, rates),
+    }
 
-    products: List[float] = []
-    for label, rates in rate_profiles(k).items():
-        tau_star = _tau_star(n, eps, rates, params["trials"], rng)
-        norm = rate_profile_norm(rates)
-        products.append(tau_star * norm)
-        result.add_row(
-            profile=label,
-            norm=norm,
-            tau_star=tau_star,
-            tau_norm_product=tau_star * norm,
-            lower_bound=asymmetric_tau_lower(n, eps, rates),
-        )
 
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for row in payloads:
+        result.add_row(**row)
+
+    products = [row["tau_norm_product"] for row in result.rows]
     spread = max(products) / min(products)
     result.summary["tau*·‖T‖₂ spread across profiles (paper: O(1))"] = spread
     result.summary["lower_bound_dominated"] = all(
@@ -107,4 +107,17 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         "half_idle players below 2 samples never alarm — the paper's "
         "'no player too slow' caveat in action"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e09",
+    title="Section 6.2: τ* = Θ(√n/(ε²·‖T‖₂)), shape-independent",
+    scales={
+        "smoke": {"n": 256, "eps": 0.5, "k": 8, "trials": 40},
+        "small": {"n": 1024, "eps": 0.5, "k": 16, "trials": 150},
+        "paper": {"n": 4096, "eps": 0.5, "k": 32, "trials": 300},
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

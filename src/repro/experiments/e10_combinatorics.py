@@ -13,11 +13,10 @@ Three exact checks:
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
-from ..exceptions import InvalidParameterError
 from ..fourier.evenly_covered import (
     a_r_expectation_bound,
     a_r_expectation_exact,
@@ -27,13 +26,8 @@ from ..fourier.evenly_covered import (
     lemma_5_5_bound,
     x_s_upper_bound,
 )
-from ..rng import ensure_rng
+from .harness import ExperimentSpec
 from .records import ExperimentResult
-
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"halves": [2, 3], "qs": [2, 3, 4], "moments": [1, 2]},
-    "paper": {"halves": [2, 3, 4, 6], "qs": [2, 3, 4, 5, 6], "moments": [1, 2, 3]},
-}
 
 
 def _claim_3_1_violations(half: int, q: int, rng) -> int:
@@ -57,60 +51,102 @@ def _claim_3_1_violations(half: int, q: int, rng) -> int:
     return violations
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Run all three combinatorial checks."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e10",
-        title="Claim 3.1 / Prop 5.2 / Lemma 5.5: evenly-covered combinatorics",
-    )
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One combinatorial check bundle per (n/2, q) cell."""
+    return [
+        {"half": half, "q": q}
+        for half in params["halves"]
+        for q in params["qs"]
+    ]
 
-    claim_violations = 0
+
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
+    """Run all three exact checks at one (n/2, q) cell."""
+    half, q = int(point["half"]), int(point["q"])
+    claim_violations = _claim_3_1_violations(half, q, rng)
     prop_violations = 0
     moment_violations = 0
     checked = 0
-    for half in params["halves"]:
-        for q in params["qs"]:
-            claim_violations += _claim_3_1_violations(half, q, rng)
-            for size in range(0, q + 1):
-                exact = count_evenly_covered_x(q, size, half)
-                bound = x_s_upper_bound(q, size, half)
+    rows: List[Dict[str, Any]] = []
+    for size in range(0, q + 1):
+        exact = count_evenly_covered_x(q, size, half)
+        bound = x_s_upper_bound(q, size, half)
+        checked += 1
+        if size % 2 == 1 and exact != 0:
+            prop_violations += 1
+        if size % 2 == 0 and exact > bound + 1e-9:
+            prop_violations += 1
+    if half**q <= 2**16:
+        for r in range(1, q // 2 + 1):
+            expectation = a_r_expectation_exact(q, r, half)
+            expectation_bound = a_r_expectation_bound(q, r, half)
+            if expectation > expectation_bound + 1e-9:
+                moment_violations += 1
+            for m in params["moments"]:
+                moment = a_r_moment_exact(q, r, half, m)
+                bound = lemma_5_5_bound(q, r, half, m)
                 checked += 1
-                if size % 2 == 1 and exact != 0:
-                    prop_violations += 1
-                if size % 2 == 0 and exact > bound + 1e-9:
-                    prop_violations += 1
-            if half**q <= 2**16:
-                for r in range(1, q // 2 + 1):
-                    expectation = a_r_expectation_exact(q, r, half)
-                    expectation_bound = a_r_expectation_bound(q, r, half)
-                    if expectation > expectation_bound + 1e-9:
-                        moment_violations += 1
-                    for m in params["moments"]:
-                        moment = a_r_moment_exact(q, r, half, m)
-                        bound = lemma_5_5_bound(q, r, half, m)
-                        checked += 1
-                        if moment > bound + 1e-9:
-                            moment_violations += 1
-                        result.add_row(
-                            half=half,
-                            q=q,
-                            r=r,
-                            m=m,
-                            moment_exact=moment,
-                            lemma_5_5_bound=bound,
-                            ratio=moment / bound if bound > 0 else float("nan"),
-                        )
+                if moment > bound + 1e-9:
+                    moment_violations += 1
+                rows.append(
+                    {
+                        "half": half,
+                        "q": q,
+                        "r": r,
+                        "m": m,
+                        "moment_exact": moment,
+                        "lemma_5_5_bound": bound,
+                        "ratio": moment / bound if bound > 0 else float("nan"),
+                    }
+                )
+    return {
+        "rows": rows,
+        "claim_violations": claim_violations,
+        "prop_violations": prop_violations,
+        "moment_violations": moment_violations,
+        "checked": checked,
+    }
 
-    result.summary["claim_3_1_violations (paper: 0)"] = claim_violations
-    result.summary["prop_5_2_violations (paper: 0)"] = prop_violations
-    result.summary["lemma_5_5_violations (paper: 0)"] = moment_violations
-    result.summary["bound_checks"] = checked
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for payload in payloads:
+        for row in payload["rows"]:
+            result.add_row(**row)
+
+    result.summary["claim_3_1_violations (paper: 0)"] = sum(
+        p["claim_violations"] for p in payloads
+    )
+    result.summary["prop_5_2_violations (paper: 0)"] = sum(
+        p["prop_violations"] for p in payloads
+    )
+    result.summary["lemma_5_5_violations (paper: 0)"] = sum(
+        p["moment_violations"] for p in payloads
+    )
+    result.summary["bound_checks"] = sum(p["checked"] for p in payloads)
     result.notes.append(
         "|X_S| computed exactly via the even-multiplicity tuple recurrence; "
         "moments by full enumeration of [n/2]^q"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e10",
+    title="Claim 3.1 / Prop 5.2 / Lemma 5.5: evenly-covered combinatorics",
+    scales={
+        "smoke": {"halves": [2], "qs": [2, 3], "moments": [1]},
+        "small": {"halves": [2, 3], "qs": [2, 3, 4], "moments": [1, 2]},
+        "paper": {
+            "halves": [2, 3, 4, 6],
+            "qs": [2, 3, 4, 5, 6],
+            "moments": [1, 2, 3],
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

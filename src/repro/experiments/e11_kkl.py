@@ -10,24 +10,14 @@ bound bites: small-mean functions at low levels.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
 
 import numpy as np
 
-from ..exceptions import InvalidParameterError
 from ..fourier.level_inequalities import check_kkl_inequality
 from ..fourier.transform import BooleanFunction
-from ..rng import ensure_rng
+from .harness import ExperimentSpec
 from .records import ExperimentResult
-
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"ms": [4, 6], "levels": [1, 2, 3], "deltas": [0.2, 0.5, 1.0 / 3.0]},
-    "paper": {
-        "ms": [4, 6, 8, 10],
-        "levels": [1, 2, 3, 4],
-        "deltas": [0.1, 0.2, 1.0 / 3.0, 0.5, 0.9],
-    },
-}
 
 
 def function_zoo(m: int, rng) -> Iterator[Tuple[str, BooleanFunction]]:
@@ -46,48 +36,87 @@ def function_zoo(m: int, rng) -> Iterator[Tuple[str, BooleanFunction]]:
         yield f"random_{bias}", BooleanFunction.random_boolean(m, bias, rng)
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Check the KKL level inequality exhaustively over the zoo."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e11",
-        title="Lemma 5.4 (KKL): Σ_{|S|≤r} f̂(S)² ≤ δ^{-r}·μ^{2/(1+δ)}",
-    )
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One zoo evaluation per input dimension m."""
+    return [{"m": m} for m in params["ms"]]
 
-    violations = 0
+
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
+    """Check the level inequality over the zoo at one dimension m."""
+    m = int(point["m"])
+    rows: List[Dict[str, Any]] = []
     checked = 0
+    violations = 0
     tightest = 0.0
     tightest_label = ""
-    for m in params["ms"]:
-        for label, func in function_zoo(m, rng):
-            for level in params["levels"]:
-                if level > m:
-                    continue
-                for delta in params["deltas"]:
-                    check = check_kkl_inequality(func, level, delta)
-                    checked += 1
-                    if not check.holds:
-                        violations += 1
-                    ratio = check.lhs / check.rhs if check.rhs > 0 else 0.0
-                    if ratio > tightest:
-                        tightest = ratio
-                        tightest_label = f"{label} (m={m}, r={level}, δ={delta:.2f})"
-                    result.add_row(
-                        m=m,
-                        f=label,
-                        level=level,
-                        delta=round(delta, 3),
-                        lhs=check.lhs,
-                        rhs=check.rhs,
-                        mean=check.mean,
-                        holds=check.holds,
-                    )
+    for label, func in function_zoo(m, rng):
+        for level in params["levels"]:
+            if level > m:
+                continue
+            for delta in params["deltas"]:
+                check = check_kkl_inequality(func, level, delta)
+                checked += 1
+                if not check.holds:
+                    violations += 1
+                ratio = check.lhs / check.rhs if check.rhs > 0 else 0.0
+                if ratio > tightest:
+                    tightest = ratio
+                    tightest_label = f"{label} (m={m}, r={level}, δ={delta:.2f})"
+                rows.append(
+                    {
+                        "m": m,
+                        "f": label,
+                        "level": level,
+                        "delta": round(delta, 3),
+                        "lhs": check.lhs,
+                        "rhs": check.rhs,
+                        "mean": check.mean,
+                        "holds": check.holds,
+                    }
+                )
+    return {
+        "rows": rows,
+        "checked": checked,
+        "violations": violations,
+        "tightest": tightest,
+        "tightest_label": tightest_label,
+    }
 
-    result.summary["instances_checked"] = checked
-    result.summary["violations (paper: 0)"] = violations
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    tightest = 0.0
+    tightest_label = ""
+    for payload in payloads:
+        for row in payload["rows"]:
+            result.add_row(**row)
+        if payload["tightest"] > tightest:
+            tightest = payload["tightest"]
+            tightest_label = payload["tightest_label"]
+
+    result.summary["instances_checked"] = sum(p["checked"] for p in payloads)
+    result.summary["violations (paper: 0)"] = sum(p["violations"] for p in payloads)
     result.summary["tightest_ratio"] = tightest
     result.summary["tightest_instance"] = tightest_label
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e11",
+    title="Lemma 5.4 (KKL): Σ_{|S|≤r} f̂(S)² ≤ δ^{-r}·μ^{2/(1+δ)}",
+    scales={
+        "smoke": {"ms": [4], "levels": [1, 2], "deltas": [0.5]},
+        "small": {"ms": [4, 6], "levels": [1, 2, 3], "deltas": [0.2, 0.5, 1.0 / 3.0]},
+        "paper": {
+            "ms": [4, 6, 8, 10],
+            "levels": [1, 2, 3, 4],
+            "deltas": [0.1, 0.2, 1.0 / 3.0, 0.5, 0.9],
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

@@ -15,13 +15,12 @@ The Theorem 6.1 proof chains four facts.  Each is verified here:
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
 from ..core.testers import ThresholdRuleTester
 from ..distributions.families import PaninskiFamily
-from ..exceptions import InvalidParameterError
 from ..lowerbounds.divergence import (
     check_fact_6_3,
     exact_protocol_divergence,
@@ -30,66 +29,69 @@ from ..lowerbounds.divergence import (
     per_player_divergence_bound,
 )
 from ..lowerbounds.lemma_engine import standard_g_suite
-from ..rng import ensure_rng
 from ..stats.complexity import empirical_sample_complexity
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"halves": [2, 3], "qs": [1, 2], "eps": 0.4, "n_check": 256, "k_check": 16, "trials": 160},
-    "paper": {"halves": [2, 3, 4], "qs": [1, 2, 3], "eps": 0.4, "n_check": 1024, "k_check": 32, "trials": 300},
-}
+
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One point per proof link; link 3 fans out over the (n/2, q) grid."""
+    points: List[Dict[str, Any]] = [{"link": "additivity"}, {"link": "fact63"}]
+    points += [
+        {"link": "ineq12", "half": half, "q": q}
+        for half in params["halves"]
+        for q in params["qs"]
+    ]
+    points.append({"link": "eq13"})
+    return points
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Verify every link of the Section 6.1 argument."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e12",
-        title="Section 6.1: KL additivity + Fact 6.3 + Lemma 4.2 ⇒ Eq. (13)",
-    )
-
-    # Link 1: additivity on random product distributions.
-    additivity_failures = 0
-    for _ in range(20):
-        marginals_p = [rng.dirichlet(np.ones(3)) for _ in range(3)]
-        marginals_q = [rng.dirichlet(np.ones(3)) for _ in range(3)]
-        if not kl_is_additive_for_product(marginals_p, marginals_q):
-            additivity_failures += 1
-
-    # Link 2: Fact 6.3 on a grid.
-    fact_failures = 0
-    grid = np.linspace(0.02, 0.98, 13)
-    for alpha in grid:
-        for beta in grid:
-            if not check_fact_6_3(float(alpha), float(beta)):
-                fact_failures += 1
-
-    # Link 3: inequality (12) per player, exactly.
-    ineq12_failures = 0
-    checked = 0
-    for half in params["halves"]:
-        for q in params["qs"]:
-            family = PaninskiFamily(2 * half, params["eps"])
-            for label, g in standard_g_suite(family, q, rng):
-                if float(np.ptp(g)) == 0.0:
-                    continue  # constant bits have zero divergence trivially
-                exact = exact_protocol_divergence([g], family, q)
-                bound = per_player_divergence_bound(g, family, q)
-                checked += 1
-                if exact > bound + 1e-9:
-                    ineq12_failures += 1
-                result.add_row(
-                    n=family.n,
-                    q=q,
-                    g=label,
-                    exact_divergence=exact,
-                    inequality_12_bound=bound,
-                    holds=exact <= bound + 1e-9,
-                )
-
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
+    link = point["link"]
+    if link == "additivity":
+        # Link 1: additivity on random product distributions.
+        failures = 0
+        for _ in range(20):
+            marginals_p = [rng.dirichlet(np.ones(3)) for _ in range(3)]
+            marginals_q = [rng.dirichlet(np.ones(3)) for _ in range(3)]
+            if not kl_is_additive_for_product(marginals_p, marginals_q):
+                failures += 1
+        return {"link": link, "failures": failures}
+    if link == "fact63":
+        # Link 2: Fact 6.3 on a grid.
+        failures = 0
+        grid = np.linspace(0.02, 0.98, 13)
+        for alpha in grid:
+            for beta in grid:
+                if not check_fact_6_3(float(alpha), float(beta)):
+                    failures += 1
+        return {"link": link, "failures": failures}
+    if link == "ineq12":
+        # Link 3: inequality (12) per player, exactly.
+        half, q = int(point["half"]), int(point["q"])
+        family = PaninskiFamily(2 * half, params["eps"])
+        rows: List[Dict[str, Any]] = []
+        failures = 0
+        checked = 0
+        for label, g in standard_g_suite(family, q, rng):
+            if float(np.ptp(g)) == 0.0:
+                continue  # constant bits have zero divergence trivially
+            exact = exact_protocol_divergence([g], family, q)
+            bound = per_player_divergence_bound(g, family, q)
+            checked += 1
+            if exact > bound + 1e-9:
+                failures += 1
+            rows.append(
+                {
+                    "n": family.n,
+                    "q": q,
+                    "g": label,
+                    "exact_divergence": exact,
+                    "inequality_12_bound": bound,
+                    "holds": exact <= bound + 1e-9,
+                }
+            )
+        return {"link": link, "rows": rows, "failures": failures, "checked": checked}
     # Link 4: Eq. (13) vs the measured q* of the optimal tester.
     n_check, k_check = params["n_check"], params["k_check"]
     eps = 0.5
@@ -101,12 +103,64 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         trials=params["trials"],
         rng=rng,
     ).resource_star
+    return {"link": "eq13", "implied": implied, "measured": measured}
 
-    result.summary["fact_6_2_additivity_failures (paper: 0)"] = additivity_failures
-    result.summary["fact_6_3_failures (paper: 0)"] = fact_failures
-    result.summary["inequality_12_failures (paper: 0)"] = ineq12_failures
-    result.summary["inequality_12_checked"] = checked
-    result.summary["eq_13_implied_q_lower"] = implied
-    result.summary["measured_q_star"] = measured
-    result.summary["eq_13_dominated"] = measured >= implied
-    return result
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    additivity = next(p for p in payloads if p["link"] == "additivity")
+    fact63 = next(p for p in payloads if p["link"] == "fact63")
+    eq13 = next(p for p in payloads if p["link"] == "eq13")
+    ineq12 = [p for p in payloads if p["link"] == "ineq12"]
+    for payload in ineq12:
+        for row in payload["rows"]:
+            result.add_row(**row)
+
+    result.summary["fact_6_2_additivity_failures (paper: 0)"] = additivity["failures"]
+    result.summary["fact_6_3_failures (paper: 0)"] = fact63["failures"]
+    result.summary["inequality_12_failures (paper: 0)"] = sum(
+        p["failures"] for p in ineq12
+    )
+    result.summary["inequality_12_checked"] = sum(p["checked"] for p in ineq12)
+    result.summary["eq_13_implied_q_lower"] = eq13["implied"]
+    result.summary["measured_q_star"] = eq13["measured"]
+    result.summary["eq_13_dominated"] = eq13["measured"] >= eq13["implied"]
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e12",
+    title="Section 6.1: KL additivity + Fact 6.3 + Lemma 4.2 ⇒ Eq. (13)",
+    scales={
+        "smoke": {
+            "halves": [2],
+            "qs": [1],
+            "eps": 0.4,
+            "n_check": 64,
+            "k_check": 8,
+            "trials": 40,
+        },
+        "small": {
+            "halves": [2, 3],
+            "qs": [1, 2],
+            "eps": 0.4,
+            "n_check": 256,
+            "k_check": 16,
+            "trials": 160,
+        },
+        "paper": {
+            "halves": [2, 3, 4],
+            "qs": [1, 2, 3],
+            "eps": 0.4,
+            "n_check": 1024,
+            "k_check": 32,
+            "trials": 300,
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

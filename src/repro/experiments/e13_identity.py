@@ -13,7 +13,7 @@ experiment exercises the implemented reduction end to end:
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -27,13 +27,11 @@ from ..distributions.generators import (
 )
 from ..exceptions import InvalidParameterError
 from ..reductions.identity import IdentityTester, IdentityTestingReduction
-from ..rng import ensure_rng
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"n": 32, "eps": 0.6, "trials": 120},
-    "paper": {"n": 64, "eps": 0.6, "trials": 300},
-}
+#: The target suite's labels, in report order (the sweep plan).
+TARGET_LABELS = ("uniform", "zipf_0.7", "bimodal", "dirichlet")
 
 
 def _targets(n: int, rng) -> Dict[str, DiscreteDistribution]:
@@ -59,60 +57,80 @@ def _far_from(target: DiscreteDistribution, epsilon: float, rng) -> DiscreteDist
     raise InvalidParameterError("could not construct a far perturbation")
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Exercise the identity→uniformity reduction across targets."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One reduction round-trip per target shape."""
+    return [{"target": label} for label in TARGET_LABELS]
+
+
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
     n, eps, trials = params["n"], params["eps"], params["trials"]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e13",
-        title="§1/[11]: identity testing reduces to uniformity testing",
+    label = point["target"]
+    target = _targets(n, rng)[label]
+    reduction = IdentityTestingReduction(target, eps)
+    null_out = reduction.output_pmf(target)
+    flat = 1.0 / reduction.output_domain_size
+    null_deviation = float(np.abs(null_out - flat).sum())
+
+    far = _far_from(target, eps, rng)
+    central = IdentityTester(target, eps)
+    completeness = central.acceptance_probability(target, trials, rng)
+    soundness = 1.0 - central.acceptance_probability(far, trials, rng)
+    distributed = IdentityTester(
+        target,
+        eps,
+        tester_factory=lambda size, residual: ThresholdRuleTester(
+            size, residual, k=8
+        ),
     )
+    dist_completeness = distributed.acceptance_probability(target, trials, rng)
+    dist_soundness = 1.0 - distributed.acceptance_probability(far, trials, rng)
+    return {
+        "target": label,
+        "grains": reduction.output_domain_size,
+        "residual_eps": reduction.residual_epsilon(),
+        "null_l1_deviation": null_deviation,
+        "completeness": completeness,
+        "soundness": soundness,
+        "distributed_completeness": dist_completeness,
+        "distributed_soundness": dist_soundness,
+    }
 
-    max_null_deviation = 0.0
-    all_complete = True
-    all_sound = True
-    for label, target in _targets(n, rng).items():
-        reduction = IdentityTestingReduction(target, eps)
-        null_out = reduction.output_pmf(target)
-        flat = 1.0 / reduction.output_domain_size
-        null_deviation = float(np.abs(null_out - flat).sum())
-        max_null_deviation = max(max_null_deviation, null_deviation)
 
-        far = _far_from(target, eps, rng)
-        central = IdentityTester(target, eps)
-        completeness = central.acceptance_probability(target, trials, rng)
-        soundness = 1.0 - central.acceptance_probability(far, trials, rng)
-        distributed = IdentityTester(
-            target,
-            eps,
-            tester_factory=lambda size, residual: ThresholdRuleTester(
-                size, residual, k=8
-            ),
-        )
-        dist_completeness = distributed.acceptance_probability(target, trials, rng)
-        dist_soundness = 1.0 - distributed.acceptance_probability(far, trials, rng)
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for row in payloads:
+        result.add_row(**row)
 
-        all_complete &= completeness >= 2 / 3 and dist_completeness >= 0.6
-        all_sound &= soundness >= 2 / 3 and dist_soundness >= 0.6
-        result.add_row(
-            target=label,
-            grains=reduction.output_domain_size,
-            residual_eps=reduction.residual_epsilon(),
-            null_l1_deviation=null_deviation,
-            completeness=completeness,
-            soundness=soundness,
-            distributed_completeness=dist_completeness,
-            distributed_soundness=dist_soundness,
-        )
-
-    result.summary["max_null_deviation (exact-uniform null; ≈0)"] = max_null_deviation
-    result.summary["all_targets_complete"] = all_complete
-    result.summary["all_targets_sound"] = all_sound
+    result.summary["max_null_deviation (exact-uniform null; ≈0)"] = max(
+        row["null_l1_deviation"] for row in result.rows
+    )
+    result.summary["all_targets_complete"] = all(
+        row["completeness"] >= 2 / 3 and row["distributed_completeness"] >= 0.6
+        for row in result.rows
+    )
+    result.summary["all_targets_sound"] = all(
+        row["soundness"] >= 2 / 3 and row["distributed_soundness"] >= 0.6
+        for row in result.rows
+    )
     result.notes.append(
         "null deviation is analytic (the reduction is a closed-form "
         "stochastic map), not Monte Carlo"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e13",
+    title="§1/[11]: identity testing reduces to uniformity testing",
+    scales={
+        "smoke": {"n": 16, "eps": 0.6, "trials": 40},
+        "small": {"n": 32, "eps": 0.6, "trials": 120},
+        "paper": {"n": 64, "eps": 0.6, "trials": 300},
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

@@ -13,20 +13,14 @@ an n sweep:
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from ..core.baselines import EmpiricalDistanceTester, UniqueElementsTester
 from ..core.testers import CentralizedCollisionTester
-from ..exceptions import InvalidParameterError
-from ..rng import ensure_rng
 from ..stats.complexity import empirical_sample_complexity
 from ..stats.fitting import fit_power_law
+from .harness import ExperimentSpec
 from .records import ExperimentResult
-
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"n_sweep": [64, 256], "eps": 0.5, "trials": 160},
-    "paper": {"n_sweep": [64, 256, 1024, 4096], "eps": 0.5, "trials": 300},
-}
 
 FACTORIES = {
     "collision": lambda n, eps: (
@@ -41,36 +35,37 @@ FACTORIES = {
 }
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure q*(n) per statistic and fit the exponents."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
-    eps = params["eps"]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e14",
-        title="Ablation: collision vs distinct-count vs plug-in statistics",
-    )
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One point per universe size; all three statistics measured there."""
+    return [{"n": n} for n in params["n_sweep"]]
 
-    measured: Dict[str, list] = {name: [] for name in FACTORIES}
-    for n in params["n_sweep"]:
-        row: Dict[str, Any] = {"n": n, "eps": eps}
-        for name, make in FACTORIES.items():
-            q_star = empirical_sample_complexity(
-                make(n, eps),
-                n=n,
-                epsilon=eps,
-                trials=params["trials"],
-                rng=rng,
-            ).resource_star
-            measured[name].append(q_star)
-            row[f"{name}_q_star"] = q_star
+
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
+    n, eps = int(point["n"]), params["eps"]
+    row: Dict[str, Any] = {"n": n, "eps": eps}
+    for name, make in FACTORIES.items():
+        row[f"{name}_q_star"] = empirical_sample_complexity(
+            make(n, eps),
+            n=n,
+            epsilon=eps,
+            trials=params["trials"],
+            rng=rng,
+        ).resource_star
+    return row
+
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for row in payloads:
         result.add_row(**row)
 
     ns = params["n_sweep"]
     for name in FACTORIES:
-        fit = fit_power_law(ns, measured[name])
+        fit = fit_power_law(ns, [row[f"{name}_q_star"] for row in result.rows])
         expected = 1.0 if name == "plugin_l1" else 0.5
         result.summary[f"{name}_n_exponent (theory: ~{expected})"] = fit.exponent
     last = result.rows[-1]
@@ -82,4 +77,17 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         <= last["unique_elements_q_star"] / last["collision_q_star"]
         <= 4.0
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e14",
+    title="Ablation: collision vs distinct-count vs plug-in statistics",
+    scales={
+        "smoke": {"n_sweep": [64, 128], "eps": 0.5, "trials": 40},
+        "small": {"n_sweep": [64, 256], "eps": 0.5, "trials": 160},
+        "paper": {"n_sweep": [64, 256, 1024, 4096], "eps": 0.5, "trials": 300},
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

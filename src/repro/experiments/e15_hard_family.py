@@ -11,7 +11,7 @@ strictly easier.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from ..core.testers import ThresholdRuleTester
 from ..distributions.discrete import DiscreteDistribution
@@ -21,15 +21,18 @@ from ..distributions.generators import (
     sparse_support_distribution,
     two_level_distribution,
 )
-from ..exceptions import InvalidParameterError
-from ..rng import ensure_rng
 from ..stats.complexity import empirical_sample_complexity
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"n": 512, "eps": 0.5, "k": 16, "trials": 200},
-    "paper": {"n": 2048, "eps": 0.5, "k": 16, "trials": 400},
-}
+#: The alternatives' labels, in report order (the sweep plan).
+ALTERNATIVE_LABELS = (
+    "paninski",
+    "two_level",
+    "zipf",
+    "sparse_support",
+    "one_heavy_hitter",
+)
 
 
 def alternatives(n: int, eps: float, rng) -> Dict[str, DiscreteDistribution]:
@@ -45,38 +48,43 @@ def alternatives(n: int, eps: float, rng) -> Dict[str, DiscreteDistribution]:
     }
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure q* against each ε-far alternative separately."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One q*-search per ε-far alternative."""
+    return [{"alternative": label} for label in ALTERNATIVE_LABELS]
+
+
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
     n, eps, k = params["n"], params["eps"], params["k"]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e15",
-        title="Ablation: the hard family ν_z maximises the sample cost",
-    )
+    label = point["alternative"]
+    alternative = alternatives(n, eps, rng)[label]
+    q_star = empirical_sample_complexity(
+        lambda q: ThresholdRuleTester(n, eps, k, q=q),
+        n=n,
+        epsilon=eps,
+        trials=params["trials"],
+        far_distributions=[alternative],
+        rng=rng,
+    ).resource_star
+    return {
+        "alternative": label,
+        "n": n,
+        "k": k,
+        "eps": eps,
+        "q_star": q_star,
+        "l2_norm_x_n": alternative.l2_norm_squared() * n,
+    }
 
-    q_by_alternative: Dict[str, int] = {}
-    for label, alternative in alternatives(n, eps, rng).items():
-        q_star = empirical_sample_complexity(
-            lambda q: ThresholdRuleTester(n, eps, k, q=q),
-            n=n,
-            epsilon=eps,
-            trials=params["trials"],
-            far_distributions=[alternative],
-            rng=rng,
-        ).resource_star
-        q_by_alternative[label] = q_star
-        result.add_row(
-            alternative=label,
-            n=n,
-            k=k,
-            eps=eps,
-            q_star=q_star,
-            l2_norm_x_n=alternative.l2_norm_squared() * n,
-        )
 
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for row in payloads:
+        result.add_row(**row)
+
+    q_by_alternative = {row["alternative"]: row["q_star"] for row in result.rows}
     hard = max(q_by_alternative["paninski"], q_by_alternative["two_level"])
     easiest = min(q_by_alternative.values())
     result.summary["hard_family_q_star"] = hard
@@ -88,4 +96,17 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         "the minimum over all ε-far distributions — and larger for the "
         "structured alternatives, which is why they are easier to detect"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e15",
+    title="Ablation: the hard family ν_z maximises the sample cost",
+    scales={
+        "smoke": {"n": 128, "eps": 0.5, "k": 8, "trials": 40},
+        "small": {"n": 512, "eps": 0.5, "k": 16, "trials": 200},
+        "paper": {"n": 2048, "eps": 0.5, "k": 16, "trials": 400},
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

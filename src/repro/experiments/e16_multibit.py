@@ -10,55 +10,48 @@ Theorem 6.4 formula at every r.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from ..core.multibit import MultibitThresholdTester
-from ..exceptions import InvalidParameterError
 from ..lowerbounds.theorems import theorem_6_4_q_lower
-from ..rng import ensure_rng
 from ..stats.complexity import empirical_sample_complexity
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"n": 1024, "eps": 0.5, "k": 16, "bits_sweep": [1, 2, 4], "trials": 200},
-    "paper": {
-        "n": 4096,
-        "eps": 0.5,
-        "k": 16,
-        "bits_sweep": [1, 2, 3, 4, 6],
-        "trials": 400,
-    },
-}
+
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One q*-search per message width r."""
+    return [{"bits": bits} for bits in params["bits_sweep"]]
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure q*(message_bits) for the quantised-collision tester."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
     n, eps, k = params["n"], params["eps"], params["k"]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e16",
-        title="Theorem 6.4: r-bit messages reduce the per-player sample cost",
-    )
+    bits = int(point["bits"])
+    q_star = empirical_sample_complexity(
+        lambda q: MultibitThresholdTester(n, eps, k, message_bits=bits, q=q),
+        n=n,
+        epsilon=eps,
+        trials=params["trials"],
+        rng=rng,
+    ).resource_star
+    return {
+        "n": n,
+        "k": k,
+        "eps": eps,
+        "bits": bits,
+        "q_star": q_star,
+        "lower_bound": theorem_6_4_q_lower(n, k, eps, bits),
+    }
 
-    for bits in params["bits_sweep"]:
-        q_star = empirical_sample_complexity(
-            lambda q: MultibitThresholdTester(n, eps, k, message_bits=bits, q=q),
-            n=n,
-            epsilon=eps,
-            trials=params["trials"],
-            rng=rng,
-        ).resource_star
-        result.add_row(
-            n=n,
-            k=k,
-            eps=eps,
-            bits=bits,
-            q_star=q_star,
-            lower_bound=theorem_6_4_q_lower(n, k, eps, bits),
-        )
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for row in payloads:
+        result.add_row(**row)
 
     q_values = [row["q_star"] for row in result.rows]
     result.summary["q_star_non_increasing_in_bits"] = all(
@@ -73,4 +66,29 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         "quantiles; saturation is expected once 2^r exceeds the spread of "
         "the collision-count distribution"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e16",
+    title="Theorem 6.4: r-bit messages reduce the per-player sample cost",
+    scales={
+        "smoke": {"n": 256, "eps": 0.5, "k": 8, "bits_sweep": [1, 2], "trials": 40},
+        "small": {
+            "n": 1024,
+            "eps": 0.5,
+            "k": 16,
+            "bits_sweep": [1, 2, 4],
+            "trials": 200,
+        },
+        "paper": {
+            "n": 4096,
+            "eps": 0.5,
+            "k": 16,
+            "bits_sweep": [1, 2, 3, 4, 6],
+            "trials": 400,
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

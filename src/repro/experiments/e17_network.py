@@ -13,13 +13,12 @@ what it costs on a real network.  The answer this experiment regenerates:
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
 from ..core.referees import ThresholdRule
 from ..distributions.discrete import uniform
-from ..exceptions import InvalidParameterError
 from ..network.tester import NetworkUniformityTester
 from ..network.topology import (
     connected_gnp_topology,
@@ -29,14 +28,12 @@ from ..network.topology import (
     random_tree_topology,
     star_topology,
 )
-from ..rng import ensure_rng
 from ..stats.fitting import fit_power_law
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"n": 256, "eps": 0.5, "k": 16, "equivalence_checks": 40},
-    "paper": {"n": 1024, "eps": 0.5, "k": 36, "equivalence_checks": 200},
-}
+#: The topology labels, in report order (the sweep plan).
+TOPOLOGY_LABELS = ("star", "grid", "random_tree", "sparse_gnp", "line")
 
 
 def topologies(k: int, rng) -> Dict[str, Any]:
@@ -50,48 +47,57 @@ def topologies(k: int, rng) -> Dict[str, Any]:
     }
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure network costs per topology + verify referee equivalence."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One deployment measurement per topology shape."""
+    return [{"topology": label} for label in TOPOLOGY_LABELS]
+
+
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
     n, eps = params["n"], params["eps"]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e17",
-        title="Network deployment: O(diameter) rounds, O(log k) message bits",
-    )
-
+    label = point["topology"]
+    graph = topologies(params["k"], rng)[label]
+    k = graph.number_of_nodes()
+    tester = NetworkUniformityTester(graph, n, eps)
+    referee = ThresholdRule(tester.reject_threshold, num_players=k)
     equivalence_failures = 0
-    depths = []
-    aggregation_rounds = []
-    for label, graph in topologies(params["k"], rng).items():
-        k = graph.number_of_nodes()
-        tester = NetworkUniformityTester(graph, n, eps)
-        referee = ThresholdRule(tester.reject_threshold, num_players=k)
-        for _ in range(params["equivalence_checks"]):
-            alarms = rng.integers(0, 2, size=k)
-            report = tester.decide_from_alarms(alarms)
-            if report.accepted != referee.decide(1 - alarms):
-                equivalence_failures += 1
-        report = tester.run(uniform(n), rng)
-        depths.append(report.tree_depth)
-        # Rounds beyond the k-round BFS phase are pure aggregation.
-        aggregation = report.rounds - k
-        aggregation_rounds.append(max(aggregation, 1))
-        result.add_row(
-            topology=label,
-            k=k,
-            diameter=diameter(graph),
-            tree_depth=report.tree_depth,
-            total_rounds=report.rounds,
-            aggregation_rounds=aggregation,
-            messages=report.messages,
-            max_message_bits=report.max_message_bits,
-            verdict_reached_all=report.all_nodes_learned_verdict,
-        )
+    for _ in range(params["equivalence_checks"]):
+        alarms = rng.integers(0, 2, size=k)
+        report = tester.decide_from_alarms(alarms)
+        if report.accepted != referee.decide(1 - alarms):
+            equivalence_failures += 1
+    report = tester.run(uniform(n), rng)
+    # Rounds beyond the k-round BFS phase are pure aggregation.
+    aggregation = report.rounds - k
+    return {
+        "row": {
+            "topology": label,
+            "k": k,
+            "diameter": diameter(graph),
+            "tree_depth": report.tree_depth,
+            "total_rounds": report.rounds,
+            "aggregation_rounds": aggregation,
+            "messages": report.messages,
+            "max_message_bits": report.max_message_bits,
+            "verdict_reached_all": report.all_nodes_learned_verdict,
+        },
+        "equivalence_failures": equivalence_failures,
+    }
 
-    result.summary["referee_equivalence_failures (expect 0)"] = equivalence_failures
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for payload in payloads:
+        result.add_row(**payload["row"])
+
+    result.summary["referee_equivalence_failures (expect 0)"] = sum(
+        p["equivalence_failures"] for p in payloads
+    )
+    depths = [row["tree_depth"] for row in result.rows]
+    aggregation_rounds = [max(row["aggregation_rounds"], 1) for row in result.rows]
     fit = fit_power_law(
         [max(d, 1) for d in depths], [float(r) for r in aggregation_rounds]
     )
@@ -107,4 +113,17 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         "total_rounds includes the k-round BFS-with-known-size phase; "
         "aggregation_rounds (convergecast + broadcast) are the Θ(depth) part"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e17",
+    title="Network deployment: O(diameter) rounds, O(log k) message bits",
+    scales={
+        "smoke": {"n": 64, "eps": 0.5, "k": 9, "equivalence_checks": 10},
+        "small": {"n": 256, "eps": 0.5, "k": 16, "equivalence_checks": 40},
+        "paper": {"n": 1024, "eps": 0.5, "k": 36, "equivalence_checks": 200},
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

@@ -16,7 +16,7 @@ generalisations end to end and exercises the specialisation maps:
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -31,72 +31,96 @@ from ..core.testers import CentralizedCollisionTester
 from ..distributions.discrete import uniform
 from ..distributions.families import PaninskiFamily
 from ..distributions.generators import two_level_distribution, zipf_distribution
-from ..exceptions import InvalidParameterError
-from ..rng import ensure_rng
 from ..stats.complexity import empirical_sample_complexity
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"n": 64, "side": 8, "eps": 0.6, "trials": 120},
-    "paper": {"n": 256, "side": 16, "eps": 0.6, "trials": 300},
-}
+
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One point per generalisation, plus the specialisation overhead."""
+    return [{"part": "closeness"}, {"part": "independence"}, {"part": "overhead"}]
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Run the closeness/independence generalisations end to end."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
     n, side, eps, trials = params["n"], params["side"], params["eps"], params["trials"]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e18",
-        title="§1: uniformity as the base case of closeness & independence",
-    )
+    part = point["part"]
+    if part == "closeness":
+        closeness = ClosenessTester(n, eps)
+        u = uniform(n)
+        far = two_level_distribution(n, eps)
+        member = PaninskiFamily(n, eps).sample_distribution(rng)
+        cases = [
+            ("closeness (U, U)", closeness.acceptance_probability(u, u, trials, rng), True),
+            (
+                "closeness (far, far)",
+                closeness.acceptance_probability(far, far, trials, rng),
+                True,
+            ),
+            (
+                "closeness (far, U)",
+                closeness.acceptance_probability(far, u, trials, rng),
+                False,
+            ),
+            (
+                "closeness (ν_z, U)",
+                closeness.acceptance_probability(member, u, trials, rng),
+                False,
+            ),
+        ]
+        return {"part": part, "cases": cases}
+    if part == "independence":
+        independence = IndependenceTester(side, side, eps)
+        independent = correlated_joint(side, 0.0)
+        skewed = joint_from_matrix(
+            np.outer(zipf_distribution(side, 1.0).pmf, zipf_distribution(side, 0.5).pmf)
+        )
+        correlated = correlated_joint(side, 0.9)
+        cases = [
+            (
+                "independence (uniform²)",
+                independence.acceptance_probability(independent, trials, rng),
+                True,
+            ),
+            (
+                "independence (skewed product)",
+                independence.acceptance_probability(skewed, trials, rng),
+                True,
+            ),
+            (
+                "independence (correlated)",
+                independence.acceptance_probability(correlated, trials, rng),
+                False,
+            ),
+        ]
+        return {
+            "part": part,
+            "cases": cases,
+            "correlated_farness": distance_from_own_product(correlated, side, side),
+        }
+    # The specialisation overhead: the closeness adapter's fixed sample
+    # budget against the direct collision tester's measured q*.
+    direct_q = empirical_sample_complexity(
+        lambda q: CentralizedCollisionTester(n, eps, q=q),
+        n=n,
+        epsilon=eps,
+        trials=trials,
+        rng=rng,
+    ).resource_star
+    return {"part": part, "direct_q": direct_q, "closeness_q": ClosenessTester(n, eps).q}
 
-    # --- closeness --------------------------------------------------- #
-    closeness = ClosenessTester(n, eps)
-    u = uniform(n)
-    far = two_level_distribution(n, eps)
-    member = PaninskiFamily(n, eps).sample_distribution(rng)
-    cases = {
-        "closeness (U, U)": (closeness.acceptance_probability(u, u, trials, rng), True),
-        "closeness (far, far)": (
-            closeness.acceptance_probability(far, far, trials, rng),
-            True,
-        ),
-        "closeness (far, U)": (
-            closeness.acceptance_probability(far, u, trials, rng),
-            False,
-        ),
-        "closeness (ν_z, U)": (
-            closeness.acceptance_probability(member, u, trials, rng),
-            False,
-        ),
-    }
 
-    # --- independence ------------------------------------------------- #
-    independence = IndependenceTester(side, side, eps)
-    independent = correlated_joint(side, 0.0)
-    skewed = joint_from_matrix(
-        np.outer(zipf_distribution(side, 1.0).pmf, zipf_distribution(side, 0.5).pmf)
-    )
-    correlated = correlated_joint(side, 0.9)
-    cases["independence (uniform²)"] = (
-        independence.acceptance_probability(independent, trials, rng),
-        True,
-    )
-    cases["independence (skewed product)"] = (
-        independence.acceptance_probability(skewed, trials, rng),
-        True,
-    )
-    cases["independence (correlated)"] = (
-        independence.acceptance_probability(correlated, trials, rng),
-        False,
-    )
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    closeness = next(p for p in payloads if p["part"] == "closeness")
+    independence = next(p for p in payloads if p["part"] == "independence")
+    overhead = next(p for p in payloads if p["part"] == "overhead")
 
     all_correct = True
-    for label, (acceptance, should_accept) in cases.items():
+    for label, acceptance, should_accept in closeness["cases"] + independence["cases"]:
         correct = acceptance >= 2 / 3 if should_accept else acceptance <= 1 / 3
         all_correct &= correct
         result.add_row(
@@ -106,23 +130,30 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
             correct=correct,
         )
 
-    # --- the specialisation overhead ---------------------------------- #
-    direct_q = empirical_sample_complexity(
-        lambda q: CentralizedCollisionTester(n, eps, q=q),
-        n=n,
-        epsilon=eps,
-        trials=trials,
-        rng=rng,
-    ).resource_star
     result.summary["all_cases_correct"] = all_correct
     result.summary["correlated_farness_from_own_product"] = (
-        distance_from_own_product(correlated, side, side)
+        independence["correlated_farness"]
     )
-    result.summary["closeness_adapter_samples (2 sides)"] = 2 * closeness.q
-    result.summary["direct_uniformity_q_star"] = direct_q
-    result.summary["specialisation_overhead"] = 2 * closeness.q / direct_q
+    result.summary["closeness_adapter_samples (2 sides)"] = 2 * overhead["closeness_q"]
+    result.summary["direct_uniformity_q_star"] = overhead["direct_q"]
+    result.summary["specialisation_overhead"] = (
+        2 * overhead["closeness_q"] / overhead["direct_q"]
+    )
     result.notes.append(
         "the overhead quantifies what pinning r = U_n and *knowing it* buys: "
         "the closeness route spends samples re-learning the reference"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e18",
+    title="§1: uniformity as the base case of closeness & independence",
+    scales={
+        "smoke": {"n": 32, "side": 4, "eps": 0.6, "trials": 40},
+        "small": {"n": 64, "side": 8, "eps": 0.6, "trials": 120},
+        "paper": {"n": 256, "side": 16, "eps": 0.6, "trials": 300},
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

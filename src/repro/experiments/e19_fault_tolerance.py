@@ -11,71 +11,58 @@ fault-free network) and measures the surviving success probability.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from ..core.faults import inject_faults
 from ..core.testers import AndRuleTester, ThresholdRuleTester
-from ..distributions.discrete import uniform
 from ..distributions.generators import two_level_distribution
-from ..exceptions import InvalidParameterError
-from ..rng import ensure_rng
+from .harness import ExperimentSpec
 from .records import ExperimentResult
 
-SCALES: Dict[str, Dict[str, Any]] = {
-    "small": {"n": 256, "eps": 0.5, "k": 24, "fault_sweep": [0, 1, 2, 4], "trials": 250},
-    "paper": {
-        "n": 1024,
-        "eps": 0.5,
-        "k": 48,
-        "fault_sweep": [0, 1, 2, 4, 8, 16],
-        "trials": 400,
-    },
-}
+
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One fault-injection measurement per (rule, fault budget) pair."""
+    return [
+        {"rule": rule, "faults": faults}
+        for rule in ("and", "threshold")
+        for faults in params["fault_sweep"]
+        if faults <= params["k"]
+    ]
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Measure success under injected faults for both decision rules."""
-    if scale not in SCALES:
-        raise InvalidParameterError(f"unknown scale {scale!r}")
-    params = SCALES[scale]
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
     n, eps, k, trials = params["n"], params["eps"], params["k"], params["trials"]
-    rng = ensure_rng(seed)
-    result = ExperimentResult(
-        experiment_id="e19",
-        title="Locality vs robustness: fault tolerance of AND vs threshold",
-    )
-
-    u = uniform(n)
+    rule, faults = point["rule"], int(point["faults"])
     far = two_level_distribution(n, eps)
-    testers = {
-        "and": AndRuleTester(n, eps, k),
-        "threshold": ThresholdRuleTester(n, eps, k),
+    base = (
+        AndRuleTester(n, eps, k) if rule == "and" else ThresholdRuleTester(n, eps, k)
+    )
+    stuck_alarm = inject_faults(base, num_stuck_alarm=faults)
+    stuck_accept = inject_faults(base, num_stuck_accept=faults)
+    byzantine = inject_faults(base, num_byzantine=faults)
+    return {
+        "rule": rule,
+        "faults": faults,
+        "completeness_stuck_alarm": stuck_alarm.completeness(trials, rng),
+        "soundness_stuck_accept": stuck_accept.soundness(far, trials, rng),
+        "success_byzantine": min(
+            byzantine.completeness(trials, rng),
+            byzantine.soundness(far, trials, rng),
+        ),
     }
 
-    for rule, base in testers.items():
-        for faults in params["fault_sweep"]:
-            if faults > k:
-                continue
-            stuck_alarm = inject_faults(base, num_stuck_alarm=faults)
-            stuck_accept = inject_faults(base, num_stuck_accept=faults)
-            byzantine = inject_faults(base, num_byzantine=faults)
-            completeness = stuck_alarm.completeness(trials, rng)
-            result.add_row(
-                rule=rule,
-                faults=faults,
-                completeness_stuck_alarm=completeness,
-                soundness_stuck_accept=stuck_accept.soundness(far, trials, rng),
-                success_byzantine=min(
-                    byzantine.completeness(trials, rng),
-                    byzantine.soundness(far, trials, rng),
-                ),
-            )
 
-    def rows_for(rule):
-        return [row for row in result.rows if row["rule"] == rule]
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for row in payloads:
+        result.add_row(**row)
 
-    and_rows = rows_for("and")
-    thr_rows = rows_for("threshold")
+    and_rows = [row for row in result.rows if row["rule"] == "and"]
+    thr_rows = [row for row in result.rows if row["rule"] == "threshold"]
     one_fault_and = next(r for r in and_rows if r["faults"] == 1)
     one_fault_thr = next(r for r in thr_rows if r["faults"] == 1)
     result.summary["and_completeness_after_1_stuck_alarm (theory: 0)"] = (
@@ -99,4 +86,29 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         "them (any honest alarm still fires) while the threshold rule "
         "degrades gracefully with its margin"
     )
-    return result
+
+
+SPEC = ExperimentSpec(
+    experiment_id="e19",
+    title="Locality vs robustness: fault tolerance of AND vs threshold",
+    scales={
+        "smoke": {"n": 64, "eps": 0.5, "k": 12, "fault_sweep": [0, 1], "trials": 60},
+        "small": {
+            "n": 256,
+            "eps": 0.5,
+            "k": 24,
+            "fault_sweep": [0, 1, 2, 4],
+            "trials": 250,
+        },
+        "paper": {
+            "n": 1024,
+            "eps": 0.5,
+            "k": 48,
+            "fault_sweep": [0, 1, 2, 4, 8, 16],
+            "trials": 400,
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

@@ -8,6 +8,14 @@ from typing import Any, Dict, List, Sequence
 
 from ..exceptions import InvalidParameterError
 
+#: Version of the on-disk JSON schema written by :meth:`ExperimentResult.
+#: to_json`.  Version 1 predates the harness and carries no
+#: ``schema_version``/``provenance`` fields; version 2 adds both.
+SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`ExperimentResult.from_json` can rebuild.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
 
 @dataclass
 class ExperimentResult:
@@ -30,6 +38,11 @@ class ExperimentResult:
         Engine instrumentation for the run (samples drawn, tiles
         executed, cache hits, wall time) — attached by the registry, see
         :mod:`repro.engine.metrics`.
+    provenance:
+        How the result was produced: seed, scale, spec hash, engine
+        configuration, sweep-point accounting — stamped by
+        :func:`repro.experiments.harness.run_spec` so any row can be
+        traced back to the exact declarative sweep that emitted it.
     """
 
     experiment_id: str
@@ -38,6 +51,7 @@ class ExperimentResult:
     summary: Dict[str, Any] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    provenance: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, **fields: Any) -> None:
         """Append one table row."""
@@ -53,24 +67,37 @@ class ExperimentResult:
         return [row[name] for row in self.rows]
 
     def to_json(self) -> str:
-        """Serialize to JSON (numpy scalars coerced to native types)."""
+        """Serialize to versioned JSON (numpy scalars coerced to native)."""
         payload = {
+            "schema_version": SCHEMA_VERSION,
             "experiment_id": self.experiment_id,
             "title": self.title,
             "rows": [_jsonable(row) for row in self.rows],
             "summary": _jsonable(self.summary),
             "notes": list(self.notes),
             "metrics": _jsonable(self.metrics),
+            "provenance": _jsonable(self.provenance),
         }
         return json.dumps(payload, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentResult":
-        """Rebuild a result from :meth:`to_json` output."""
+        """Rebuild a result from :meth:`to_json` output.
+
+        Accepts every version in :data:`SUPPORTED_SCHEMA_VERSIONS`;
+        version-1 documents (pre-harness, no ``schema_version`` key)
+        load with an empty provenance block.
+        """
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as error:
             raise InvalidParameterError(f"invalid result JSON: {error}") from error
+        version = payload.get("schema_version", 1)
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            raise InvalidParameterError(
+                f"unsupported result schema_version {version!r}; "
+                f"supported: {list(SUPPORTED_SCHEMA_VERSIONS)}"
+            )
         for key in ("experiment_id", "title"):
             if key not in payload:
                 raise InvalidParameterError(f"result JSON missing {key!r}")
@@ -81,6 +108,7 @@ class ExperimentResult:
             summary=dict(payload.get("summary", {})),
             notes=list(payload.get("notes", [])),
             metrics=dict(payload.get("metrics", {})),
+            provenance=dict(payload.get("provenance", {})),
         )
 
     def render(self) -> str:
@@ -98,6 +126,14 @@ class ExperimentResult:
             lines.append("-- engine metrics --")
             for key, value in self.metrics.items():
                 lines.append(f"  {key}: {_format_value(value)}")
+        if self.provenance:
+            seed = self.provenance.get("seed")
+            scale = self.provenance.get("scale")
+            spec_hash = self.provenance.get("spec_hash", "")
+            lines.append(
+                f"-- provenance: scale={scale} seed={seed} "
+                f"spec={spec_hash[:12]} --"
+            )
         # Reports deliberately preserve the authored insertion order of
         # ``summary``/``metrics`` (both are populated by straight-line
         # experiment code, never from unordered iteration), so the joined

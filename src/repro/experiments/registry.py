@@ -1,79 +1,115 @@
-"""Experiment registry and dispatch."""
+"""Experiment registry: spec discovery and dispatch.
+
+Experiment modules are *discovered*, not hand-listed: every
+``eNN_*.py`` module in this package must export a module-level
+:data:`SPEC` (:class:`~repro.experiments.harness.ExperimentSpec`), and
+the registry imports them all at first use.  A module that forgets its
+``SPEC`` — or registers a duplicate id — fails loudly here rather than
+silently dropping out of ``run-all``.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import importlib
+import pkgutil
+import re
+from typing import Callable, Dict, List, Optional
 
 from ..exceptions import InvalidParameterError
-from . import (
-    e01_any_rule,
-    e02_and_rule,
-    e03_threshold_T,
-    e04_learning,
-    e05_lemma42,
-    e06_lemma43,
-    e07_centralized,
-    e08_single_sample,
-    e09_asymmetric,
-    e10_combinatorics,
-    e11_kkl,
-    e12_divergence,
-    e13_identity,
-    e14_statistics,
-    e15_hard_family,
-    e16_multibit,
-    e17_network,
-    e18_generalizations,
-    e19_fault_tolerance,
-)
+from .harness import ExperimentSpec, run_spec
 from .records import ExperimentResult
 
-#: Experiment id → run(scale, seed) callable (see DESIGN.md §3).
+#: Experiment modules look like ``e01_any_rule`` — discovery is by name.
+_MODULE_PATTERN = re.compile(r"^e\d{2}_\w+$")
+
+
+def discover_specs() -> Dict[str, ExperimentSpec]:
+    """Import every ``eNN_*`` module in this package and collect its SPEC."""
+    package = importlib.import_module(__package__ or "repro.experiments")
+    specs: Dict[str, ExperimentSpec] = {}
+    names = sorted(
+        info.name
+        for info in pkgutil.iter_modules(package.__path__)
+        if _MODULE_PATTERN.match(info.name)
+    )
+    for name in names:
+        module = importlib.import_module(f"{package.__name__}.{name}")
+        spec = getattr(module, "SPEC", None)
+        if spec is None:
+            raise InvalidParameterError(
+                f"experiment module {name!r} defines no SPEC"
+            )
+        if not isinstance(spec, ExperimentSpec):
+            raise InvalidParameterError(
+                f"experiment module {name!r}: SPEC is not an ExperimentSpec"
+            )
+        if spec.experiment_id in specs:
+            raise InvalidParameterError(
+                f"duplicate experiment id {spec.experiment_id!r} (module {name!r})"
+            )
+        specs[spec.experiment_id] = spec
+    return specs
+
+
+#: Experiment id → declarative spec (discovered once at import).
+SPECS: Dict[str, ExperimentSpec] = discover_specs()
+
+
+def _legacy_runner(spec: ExperimentSpec) -> Callable[..., ExperimentResult]:
+    def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+        return run_spec(spec, scale=scale, seed=seed)
+
+    run.__doc__ = spec.title
+    return run
+
+
+#: Experiment id → run(scale, seed) callable (see DESIGN.md §3).  Kept
+#: for callers that predate the spec layer; new code should use SPECS.
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "e01": e01_any_rule.run,
-    "e02": e02_and_rule.run,
-    "e03": e03_threshold_T.run,
-    "e04": e04_learning.run,
-    "e05": e05_lemma42.run,
-    "e06": e06_lemma43.run,
-    "e07": e07_centralized.run,
-    "e08": e08_single_sample.run,
-    "e09": e09_asymmetric.run,
-    "e10": e10_combinatorics.run,
-    "e11": e11_kkl.run,
-    "e12": e12_divergence.run,
-    "e13": e13_identity.run,
-    "e14": e14_statistics.run,
-    "e15": e15_hard_family.run,
-    "e16": e16_multibit.run,
-    "e17": e17_network.run,
-    "e18": e18_generalizations.run,
-    "e19": e19_fault_tolerance.run,
+    experiment_id: _legacy_runner(spec) for experiment_id, spec in SPECS.items()
 }
 
 
 def experiment_ids() -> List[str]:
     """All registered experiment ids, sorted."""
-    return sorted(EXPERIMENTS)
+    return sorted(SPECS)
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up one experiment's spec by id (``"e01"`` ... ``"e19"``)."""
+    key = experiment_id.lower()
+    if key not in SPECS:
+        raise InvalidParameterError(
+            f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
+        )
+    return SPECS[key]
 
 
 def run_experiment(
-    experiment_id: str, scale: str = "small", seed: int = 0
+    experiment_id: str,
+    scale: str = "small",
+    seed: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Run one experiment by id (``"e01"`` ... ``"e19"``).
 
     The run executes inside a fresh engine-metrics scope; the collected
     counters (samples drawn, tiles executed, cache hits, wall time) are
-    attached to the returned result's ``metrics`` field.
+    attached to the returned result's ``metrics`` field.  With a
+    ``checkpoint_dir``, completed sweep points are persisted and
+    ``resume=True`` picks up an interrupted run where it stopped.
     """
     from ..engine import collect_metrics
 
-    key = experiment_id.lower()
-    if key not in EXPERIMENTS:
-        raise InvalidParameterError(
-            f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
-        )
+    spec = get_spec(experiment_id)
     with collect_metrics() as metrics:
-        result = EXPERIMENTS[key](scale=scale, seed=seed)
+        result = run_spec(
+            spec,
+            scale=scale,
+            seed=seed,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
     result.metrics = metrics.snapshot()
     return result

@@ -1,0 +1,57 @@
+"""Picklable ExperimentSpec fixtures for harness and resume tests.
+
+The harness ships spec callables to worker processes by reference, so
+everything here must live at module level.  ``point`` can be made to
+fail at a chosen sweep index through the ``REPRO_TEST_FAIL_AT``
+environment variable — deliberately *outside* the spec (environment, not
+params), so an interrupted run and its resumed continuation share the
+same spec hash, exactly like a real crash.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.harness import ExperimentSpec
+
+FAIL_AT_ENV = "REPRO_TEST_FAIL_AT"
+
+
+def sweep(params):
+    return [{"i": i} for i in range(params["points"])]
+
+
+def point(pt, params, rng):
+    fail_at = os.environ.get(FAIL_AT_ENV)
+    if fail_at is not None and int(fail_at) == pt["i"]:
+        raise RuntimeError(f"injected failure at point {pt['i']}")
+    return {
+        "i": pt["i"],
+        "scaled": pt["i"] * params["factor"],
+        "draw": float(rng.random()),
+        "pair": (pt["i"], params["factor"]),  # normalised to a list
+    }
+
+
+def fold(result, params, points, payloads):
+    for payload in payloads:
+        result.add_row(**payload)
+    result.summary["total_scaled"] = sum(row["scaled"] for row in result.rows)
+    result.summary["draws"] = [row["draw"] for row in result.rows]
+    result.notes.append(f"folded {len(payloads)} payloads")
+
+
+def make_spec(points: int = 6, factor: int = 2) -> ExperimentSpec:
+    """A small deterministic spec; ``factor`` perturbs the spec hash."""
+    return ExperimentSpec(
+        experiment_id="e98",
+        title="harness test spec",
+        scales={
+            "smoke": {"points": 2, "factor": factor},
+            "small": {"points": points, "factor": factor},
+            "paper": {"points": 2 * points, "factor": factor},
+        },
+        sweep=sweep,
+        point=point,
+        fold=fold,
+    )

@@ -1,0 +1,131 @@
+"""Resume semantics: interrupted sweeps continue bit-identically.
+
+The failure is injected through the ``REPRO_TEST_FAIL_AT`` environment
+variable (see :mod:`tests.experiments.spec_fixtures`), which workers
+inherit but the spec hash does not see — so the crashed run and its
+resumed continuation agree on the checkpoint manifest, exactly like a
+real crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.engine import engine_context
+from repro.engine.backend import make_backend
+from repro.experiments.harness import run_spec
+
+from .spec_fixtures import FAIL_AT_ENV, make_spec
+
+
+def _payload(result):
+    """The result's JSON document minus provenance (run-dependent)."""
+    document = json.loads(result.to_json())
+    document.pop("provenance")
+    return document
+
+
+class TestResumeSerial:
+    def test_crash_then_resume_is_bit_identical(self, tmp_path, monkeypatch):
+        spec = make_spec()
+        uninterrupted = run_spec(spec, scale="small", seed=11)
+
+        monkeypatch.setenv(FAIL_AT_ENV, "3")
+        with pytest.raises(RuntimeError, match="injected failure at point 3"):
+            run_spec(spec, scale="small", seed=11, checkpoint_dir=str(tmp_path))
+        monkeypatch.delenv(FAIL_AT_ENV)
+
+        # Serial checkpointing is per-point: 0..2 survived the crash.
+        run_dir = tmp_path / "e98" / "small-seed11"
+        assert sorted(p.name for p in run_dir.iterdir()) == [
+            "manifest.json",
+            "point-0000.json",
+            "point-0001.json",
+            "point-0002.json",
+        ]
+
+        resumed = run_spec(
+            spec, scale="small", seed=11, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert resumed.provenance["points_restored"] == 3
+        assert resumed.provenance["points_computed"] == 3
+        assert _payload(resumed) == _payload(uninterrupted)
+
+    def test_without_resume_flag_recomputes_everything(self, tmp_path, monkeypatch):
+        spec = make_spec()
+        monkeypatch.setenv(FAIL_AT_ENV, "3")
+        with pytest.raises(RuntimeError):
+            run_spec(spec, scale="small", seed=11, checkpoint_dir=str(tmp_path))
+        monkeypatch.delenv(FAIL_AT_ENV)
+        fresh = run_spec(spec, scale="small", seed=11, checkpoint_dir=str(tmp_path))
+        assert fresh.provenance["points_restored"] == 0
+        assert fresh.provenance["points_computed"] == 6
+
+
+class TestResumeParallel:
+    def test_parallel_crash_then_resume_matches_serial(self, tmp_path, monkeypatch):
+        spec = make_spec()
+        serial = run_spec(spec, scale="small", seed=5)
+
+        backend = make_backend(4)
+        try:
+            with engine_context(backend=backend):
+                # Wave size == 4, so the crash at point 4 lands in the
+                # second wave: points 0..3 are already on disk.
+                monkeypatch.setenv(FAIL_AT_ENV, "4")
+                with pytest.raises(RuntimeError, match="injected failure"):
+                    run_spec(
+                        spec, scale="small", seed=5, checkpoint_dir=str(tmp_path)
+                    )
+                monkeypatch.delenv(FAIL_AT_ENV)
+        finally:
+            backend.close()
+
+        run_dir = tmp_path / "e98" / "small-seed5"
+        saved = sorted(p.name for p in run_dir.iterdir() if p.name != "manifest.json")
+        assert saved == [f"point-{i:04d}.json" for i in range(4)]
+
+        # Resume on a *different* worker count: still bit-identical.
+        backend = make_backend(2)
+        try:
+            with engine_context(backend=backend):
+                resumed = run_spec(
+                    spec,
+                    scale="small",
+                    seed=5,
+                    checkpoint_dir=str(tmp_path),
+                    resume=True,
+                )
+        finally:
+            backend.close()
+        assert resumed.provenance["points_restored"] == 4
+        assert resumed.provenance["points_computed"] == 2
+        assert _payload(resumed) == _payload(serial)
+
+
+class TestCheckpointInvalidation:
+    def test_changed_spec_wipes_stale_checkpoints(self, tmp_path):
+        run_spec(make_spec(factor=2), scale="small", seed=1, checkpoint_dir=str(tmp_path))
+        changed = run_spec(
+            make_spec(factor=3),
+            scale="small",
+            seed=1,
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+        )
+        assert changed.provenance["points_restored"] == 0
+        assert changed.provenance["points_computed"] == 6
+        assert all(row["scaled"] == 3 * row["i"] for row in changed.rows)
+
+    def test_different_seed_does_not_share_checkpoints(self, tmp_path):
+        spec = make_spec()
+        run_spec(spec, scale="small", seed=1, checkpoint_dir=str(tmp_path))
+        other = run_spec(
+            spec, scale="small", seed=2, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert other.provenance["points_restored"] == 0
+        assert os.path.isdir(tmp_path / "e98" / "small-seed1")
+        assert os.path.isdir(tmp_path / "e98" / "small-seed2")

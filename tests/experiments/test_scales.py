@@ -1,12 +1,15 @@
-"""Every experiment must expose consistent small/paper scale configs."""
+"""Every experiment must declare a consistent smoke/small/paper spec."""
 
 from __future__ import annotations
 
 import importlib
+import pkgutil
 
 import pytest
 
-from repro.experiments.registry import EXPERIMENTS, experiment_ids
+import repro.experiments as experiments_package
+from repro.experiments.harness import REQUIRED_SCALES, ExperimentSpec
+from repro.experiments.registry import EXPERIMENTS, SPECS, experiment_ids
 
 MODULES = {
     "e01": "repro.experiments.e01_any_rule",
@@ -35,13 +38,47 @@ def test_module_map_matches_registry():
     assert sorted(MODULES) == experiment_ids()
 
 
+def test_every_experiment_module_is_discovered():
+    """No eNN_*.py file may exist without a registered SPEC (meta-test)."""
+    on_disk = [
+        info.name
+        for info in pkgutil.iter_modules(experiments_package.__path__)
+        if info.name[:1] == "e" and info.name[1:3].isdigit()
+    ]
+    assert len(on_disk) == len(SPECS)
+    for name in on_disk:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        spec = module.SPEC
+        assert isinstance(spec, ExperimentSpec), name
+        assert spec.experiment_id in SPECS, name
+        assert SPECS[spec.experiment_id] is spec, name
+
+
+@pytest.mark.parametrize("experiment_id", sorted(MODULES))
+def test_module_exports_its_spec(experiment_id):
+    module = importlib.import_module(MODULES[experiment_id])
+    spec = module.SPEC
+    assert isinstance(spec, ExperimentSpec)
+    assert spec.experiment_id == experiment_id
+    assert SPECS[experiment_id] is spec
+
+
 @pytest.mark.parametrize("experiment_id", sorted(MODULES))
 def test_scales_present_and_consistent(experiment_id):
-    module = importlib.import_module(MODULES[experiment_id])
-    scales = module.SCALES
-    assert set(scales) == {"small", "paper"}
+    spec = SPECS[experiment_id]
+    assert set(REQUIRED_SCALES) <= set(spec.scales)
     # Scale configs must share their parameter schema.
-    assert set(scales["small"]) == set(scales["paper"])
+    for name in spec.scale_names():
+        assert set(spec.scales[name]) == set(spec.scales["small"]), name
+
+
+@pytest.mark.parametrize("experiment_id", sorted(MODULES))
+def test_sweep_plans_are_nonempty_and_deterministic(experiment_id):
+    spec = SPECS[experiment_id]
+    for name in REQUIRED_SCALES:
+        plan = spec.plan(name)
+        assert plan, name
+        assert plan == spec.plan(name), name
 
 
 @pytest.mark.parametrize("experiment_id", sorted(MODULES))
