@@ -184,8 +184,16 @@ def _cmd_complexity(args: argparse.Namespace) -> int:
         epsilon=args.eps,
         trials=args.trials,
         rng=args.seed,
+        sprt=args.sprt,
+        sprt_margin=args.sprt_margin,
+        sprt_error_rate=args.sprt_error_rate,
+        sprt_max_trials=args.sprt_max_trials,
     )
-    print(f"tester: {args.tester}  n={args.n}  k={args.k}  eps={args.eps}")
+    mode = "sprt" if args.sprt else "fixed"
+    print(
+        f"tester: {args.tester}  n={args.n}  k={args.k}  eps={args.eps}  "
+        f"mode={mode}"
+    )
     print(f"empirical q* = {result.resource_star}")
     bound = theorems.theorem_1_1_q_lower(args.n, args.k, args.eps)
     print(f"Theorem 1.1 lower bound: {bound:.2f}")
@@ -312,6 +320,29 @@ def build_parser() -> argparse.ArgumentParser:
     complexity.add_argument("--eps", type=float, default=0.5)
     complexity.add_argument("--trials", type=int, default=200)
     complexity.add_argument("--seed", type=int, default=0)
+    complexity.add_argument(
+        "--sprt",
+        action="store_true",
+        help="classify each level by block-granular sequential testing",
+    )
+    complexity.add_argument(
+        "--sprt-margin",
+        type=float,
+        default=0.05,
+        help="Wald indifference half-width around the target",
+    )
+    complexity.add_argument(
+        "--sprt-error-rate",
+        type=float,
+        default=0.05,
+        help="two-sided SPRT error bound per side",
+    )
+    complexity.add_argument(
+        "--sprt-max-trials",
+        type=int,
+        default=None,
+        help="trial cap per (level, side) probe (default 4x --trials)",
+    )
     _add_engine_options(complexity)
     complexity.set_defaults(func=_cmd_complexity)
 

@@ -57,6 +57,7 @@ from .learning import (
     HitCountingLearner,
     FrequencyDitheringLearner,
     LearningOutcome,
+    LearningSuccessKernel,
 )
 from .tradeoffs import AsymmetricRateTester, rate_profile_norm
 
@@ -101,6 +102,7 @@ __all__ = [
     "HitCountingLearner",
     "FrequencyDitheringLearner",
     "LearningOutcome",
+    "LearningSuccessKernel",
     "AsymmetricRateTester",
     "rate_profile_norm",
 ]

@@ -76,12 +76,20 @@ class UniqueElementsTester(UniformityTester):
             raise InvalidParameterError("need n >= 1 and q >= 0")
         return n * (1.0 - (1.0 - 1.0 / n) ** q)
 
-    def accept_batch(
+    def accept_block(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
+        """Single-tile kernel: distinct-value counts vs the calibrated cut."""
         generator = ensure_rng(rng)
         samples = distribution.sample_matrix(trials, self.q, generator)
         return unique_counts(samples) >= self.distinct_threshold
+
+    def accept_batch(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        from ..engine import chunked_accepts
+
+        return chunked_accepts(self, distribution, trials, rng)
 
     @property
     def resources(self) -> TesterResources:
@@ -127,11 +135,19 @@ class EmpiricalDistanceTester(UniformityTester):
             statistics[index] = float(np.abs(histogram - flat).sum())
         return statistics
 
+    def accept_block(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Single-tile kernel: empirical ℓ1 distances vs the ε/2 cut."""
+        generator = ensure_rng(rng)
+        return self._statistics(distribution, trials, generator) <= self.distance_threshold
+
     def accept_batch(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
-        generator = ensure_rng(rng)
-        return self._statistics(distribution, trials, generator) <= self.distance_threshold
+        from ..engine import chunked_accepts
+
+        return chunked_accepts(self, distribution, trials, rng)
 
     @property
     def resources(self) -> TesterResources:

@@ -93,6 +93,14 @@ class ClosenessTester:
         # E[Z | eps-far] >= q²ε²/n.
         self.threshold = 0.5 * self.q**2 * self.epsilon**2 / self.n
 
+    def against(self, reference: DiscreteDistribution) -> "ClosenessAcceptKernel":
+        """The accept kernel testing "p = ``reference``" (p is the input)."""
+        if reference.n != self.n:
+            raise InvalidParameterError(
+                f"both distributions must live on n={self.n}"
+            )
+        return ClosenessAcceptKernel(self, reference)
+
     def accept_batch(
         self,
         p: DiscreteDistribution,
@@ -107,15 +115,9 @@ class ClosenessTester:
             )
         if trials < 1:
             raise InvalidParameterError(f"trials must be >= 1, got {trials}")
-        generator = ensure_rng(rng)
-        accepts = np.empty(trials, dtype=bool)
-        for index in range(trials):
-            counts_a = poissonized_counts(p, self.q, generator)
-            counts_b = poissonized_counts(r, self.q, generator)
-            accepts[index] = (
-                closeness_statistic(counts_a, counts_b) <= self.threshold
-            )
-        return accepts
+        from ..engine import chunked_accepts
+
+        return chunked_accepts(self.against(r), p, trials, rng)
 
     def test(
         self, p: DiscreteDistribution, r: DiscreteDistribution, rng: RngLike = None
@@ -130,8 +132,14 @@ class ClosenessTester:
         trials: int,
         rng: RngLike = None,
     ) -> float:
-        """Monte Carlo estimate of P[accept]."""
-        return float(self.accept_batch(p, r, trials, rng).mean())
+        """Monte Carlo estimate of P[accept], via the engine entry point."""
+        if p.n != self.n:
+            raise InvalidParameterError(
+                f"both distributions must live on n={self.n}"
+            )
+        from ..engine import estimate_acceptance
+
+        return estimate_acceptance(self.against(r), p, trials=trials, rng=rng).rate
 
     def as_uniformity_tester(self) -> "UniformityViaCloseness":
         """Uniformity testing as the special case r = U_n (§1's framing)."""
@@ -139,6 +147,63 @@ class ClosenessTester:
 
     def __repr__(self) -> str:
         return f"ClosenessTester(n={self.n}, eps={self.epsilon}, q={self.q})"
+
+
+class ClosenessAcceptKernel:
+    """Accept kernel of a :class:`ClosenessTester` with the reference bound.
+
+    The engine's kernel interface takes *one* distribution, so the
+    two-sample tester enters the substrate by currying: the kernel holds
+    the reference side r and receives p as the estimated distribution.
+    The cache token fingerprints the reference pmf, so curves against
+    different references — and against uniformity-protocol kernels
+    sharing (n, q) — can never collide.
+    """
+
+    def __init__(self, closeness: ClosenessTester, reference: DiscreteDistribution):
+        self.closeness = closeness
+        self.reference = reference
+
+    @property
+    def cache_token(self) -> dict:
+        from ..engine import KERNEL_SCHEMA_VERSION
+        from ..engine.cache import distribution_fingerprint
+
+        return {
+            "schema": KERNEL_SCHEMA_VERSION,
+            "kind": "closeness",
+            "class": "ClosenessAcceptKernel",
+            "kernel_version": 1,
+            "n": self.closeness.n,
+            "epsilon": self.closeness.epsilon,
+            "q": self.closeness.q,
+            "threshold": self.closeness.threshold,
+            "reference": distribution_fingerprint(self.reference),
+        }
+
+    @property
+    def elements_per_trial(self) -> int:
+        return 2 * self.closeness.n
+
+    def accept_block(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Single-tile kernel: Poissonized counts for both sides, vectorised."""
+        generator = ensure_rng(rng)
+        q = float(self.closeness.q)
+        shape = (trials, self.closeness.n)
+        counts_a = generator.poisson(q * distribution.pmf, size=shape).astype(
+            np.float64
+        )
+        counts_b = generator.poisson(q * self.reference.pmf, size=shape).astype(
+            np.float64
+        )
+        difference = counts_a - counts_b
+        statistics = (difference * difference - counts_a - counts_b).sum(axis=1)
+        return statistics <= self.closeness.threshold
+
+    def __repr__(self) -> str:
+        return f"ClosenessAcceptKernel({self.closeness!r})"
 
 
 class UniformityViaCloseness:
@@ -154,13 +219,36 @@ class UniformityViaCloseness:
         self.closeness = closeness
         self.n = closeness.n
         self.epsilon = closeness.epsilon
+        self._kernel = closeness.against(uniform(closeness.n))
+
+    @property
+    def cache_token(self) -> dict:
+        token = dict(self._kernel.cache_token)
+        token["class"] = "UniformityViaCloseness"
+        return token
+
+    @property
+    def elements_per_trial(self) -> int:
+        return self._kernel.elements_per_trial
+
+    def accept_block(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        return self._kernel.accept_block(distribution, trials, rng)
+
+    def accept_batch(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        from ..engine import chunked_accepts
+
+        return chunked_accepts(self, distribution, trials, rng)
 
     def acceptance_probability(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> float:
-        return self.closeness.acceptance_probability(
-            distribution, uniform(self.n), trials, rng
-        )
+        from ..engine import estimate_acceptance
+
+        return estimate_acceptance(self, distribution, trials=trials, rng=rng).rate
 
     def test(self, distribution: DiscreteDistribution, rng: RngLike = None) -> bool:
         return self.closeness.test(distribution, uniform(self.n), rng)

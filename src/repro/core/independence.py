@@ -155,6 +155,38 @@ class IndependenceTester:
         product_counts = np.bincount(x_part * self.n2 + y_part, minlength=self.n)
         return joint_counts, product_counts
 
+    @property
+    def cache_token(self) -> dict:
+        from ..engine import KERNEL_SCHEMA_VERSION
+
+        return {
+            "schema": KERNEL_SCHEMA_VERSION,
+            "kind": "independence",
+            "class": "IndependenceTester",
+            "kernel_version": 1,
+            "n1": self.n1,
+            "n2": self.n2,
+            "epsilon": self.epsilon,
+            "q": self.q,
+            "threshold": self.threshold,
+        }
+
+    @property
+    def elements_per_trial(self) -> int:
+        return self.total_joint_samples + 2 * self.n
+
+    def accept_block(
+        self, joint: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Single-tile kernel (per-trial Poissonized synthesis loop)."""
+        generator = ensure_rng(rng)
+        accepts = np.empty(trials, dtype=bool)
+        for index in range(trials):
+            joint_counts, product_counts = self._counts(joint, generator)
+            statistic = closeness_statistic(joint_counts, product_counts)
+            accepts[index] = statistic <= self.threshold
+        return accepts
+
     def accept_batch(
         self, joint: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
@@ -165,13 +197,9 @@ class IndependenceTester:
             )
         if trials < 1:
             raise InvalidParameterError(f"trials must be >= 1, got {trials}")
-        generator = ensure_rng(rng)
-        accepts = np.empty(trials, dtype=bool)
-        for index in range(trials):
-            joint_counts, product_counts = self._counts(joint, generator)
-            statistic = closeness_statistic(joint_counts, product_counts)
-            accepts[index] = statistic <= self.threshold
-        return accepts
+        from ..engine import chunked_accepts
+
+        return chunked_accepts(self, joint, trials, rng)
 
     def test(self, joint: DiscreteDistribution, rng: RngLike = None) -> bool:
         """One execution of the independence test."""
@@ -180,8 +208,14 @@ class IndependenceTester:
     def acceptance_probability(
         self, joint: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> float:
-        """Monte Carlo estimate of P[accept]."""
-        return float(self.accept_batch(joint, trials, rng).mean())
+        """Monte Carlo estimate of P[accept], via the engine entry point."""
+        if joint.n != self.n:
+            raise InvalidParameterError(
+                f"joint has domain {joint.n}, expected {self.n}"
+            )
+        from ..engine import estimate_acceptance
+
+        return estimate_acceptance(self, joint, trials=trials, rng=rng).rate
 
     def __repr__(self) -> str:
         return (

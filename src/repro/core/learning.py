@@ -197,3 +197,68 @@ class FrequencyDitheringLearner:
         elements this gives ``n · window · √(n/k)``.
         """
         return self.n * self.window * math.sqrt(self.n / self.k)
+
+
+class LearningSuccessKernel:
+    """Accept kernel: one learning run succeeds iff ``l1_error <= delta``.
+
+    Lifts any learner exposing ``learn(distribution, rng) ->
+    LearningOutcome`` onto the engine's kernel substrate, so
+    success-probability sweeps (e.g. empirical player-complexity searches
+    for Theorem 1.4) share the cache, chunked streaming and sequential
+    early stopping with every other estimator.
+    """
+
+    def __init__(self, learner: object, delta: float):
+        if delta <= 0.0:
+            raise InvalidParameterError(f"delta must be > 0, got {delta}")
+        if not hasattr(learner, "learn"):
+            raise InvalidParameterError(
+                f"{type(learner).__name__} exposes no learn() protocol"
+            )
+        self.learner = learner
+        self.delta = float(delta)
+
+    @property
+    def cache_token(self) -> dict:
+        from ..engine import KERNEL_SCHEMA_VERSION
+        from ..engine.cache import tester_fingerprint
+
+        return {
+            "schema": KERNEL_SCHEMA_VERSION,
+            "kind": "learning",
+            "kernel_version": 1,
+            "delta": self.delta,
+            "learner": tester_fingerprint(self.learner),
+        }
+
+    @property
+    def elements_per_trial(self) -> int:
+        k = int(getattr(self.learner, "k", 1))
+        q = int(getattr(self.learner, "q", 1))
+        return max(1, k * q)
+
+    def accept_block(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Single-tile kernel: one full learning run per trial."""
+        generator = ensure_rng(rng)
+        accepts = np.empty(trials, dtype=bool)
+        for index in range(trials):
+            outcome = self.learner.learn(distribution, generator)
+            accepts[index] = outcome.l1_error <= self.delta
+        return accepts
+
+    def success_probability(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> float:
+        """P[l1_error <= delta], via the engine entry point."""
+        from ..engine import estimate_acceptance
+
+        return estimate_acceptance(self, distribution, trials=trials, rng=rng).rate
+
+    def __repr__(self) -> str:
+        return (
+            f"LearningSuccessKernel({type(self.learner).__name__}, "
+            f"delta={self.delta})"
+        )

@@ -110,15 +110,23 @@ class MultibitThresholdTester(UniformityTester):
             0.5 * self.k * (self._uniform_level_mean + self._far_level_mean)
         )
 
-    def accept_batch(
+    def accept_block(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
+        """Single-tile kernel: sample, quantise, sum levels, threshold."""
         generator = ensure_rng(rng)
         samples = distribution.sample_matrix(trials * self.k, self.q, generator)
         counts = collision_counts(samples)
         levels = np.searchsorted(self.boundaries, counts, side="right")
         sums = levels.reshape(trials, self.k).sum(axis=1)
         return sums <= self.sum_threshold
+
+    def accept_batch(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        from ..engine import chunked_accepts
+
+        return chunked_accepts(self, distribution, trials, rng)
 
     @property
     def resources(self) -> TesterResources:

@@ -1,0 +1,35 @@
+"""Reference Monte-Carlo oracles for differential testing.
+
+The engine's kernel substrate (:mod:`repro.engine.kernels`) is the one
+production path for acceptance estimation; these deliberately naive
+loops exist so tests can pin the substrate against an implementation too
+simple to be wrong.  They are the sanctioned exception to lint rule
+RL302 ("engine bypass") — production code must never estimate this way.
+"""
+
+from __future__ import annotations
+
+from ..distributions.discrete import DiscreteDistribution
+from ..exceptions import InvalidParameterError
+from ..rng import RngLike, ensure_rng
+
+
+def reference_acceptance_rate(
+    tester: object,
+    distribution: DiscreteDistribution,
+    trials: int,
+    rng: RngLike = None,
+) -> float:
+    """P[accept] by the plainest possible loop over single executions.
+
+    Sequentially consumes one generator across ``test`` calls — exactly
+    the draw pattern the engine's block-seeded path replaces — so the two
+    agree in distribution, not bit-for-bit.
+    """
+    if trials < 1:
+        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+    generator = ensure_rng(rng)
+    hits = 0
+    for _ in range(trials):  # repro-lint: disable=RL302 reference oracle
+        hits += bool(tester.test(distribution, generator))
+    return hits / trials

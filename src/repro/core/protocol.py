@@ -178,8 +178,17 @@ class SimultaneousProtocol:
     def acceptance_probability(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> float:
-        """Monte Carlo estimate of P[referee accepts] against ``distribution``."""
-        return float(self.run_batch(distribution, trials, rng).mean())
+        """Monte Carlo estimate of P[referee accepts] against ``distribution``.
+
+        Runs through :func:`repro.engine.estimate_acceptance` (every
+        shipped referee decides row-wise, so the kernel path is
+        bit-identical to :meth:`run_batch` under the same seed).
+        """
+        if trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+        from ..engine import estimate_acceptance
+
+        return estimate_acceptance(self, distribution, trials=trials, rng=rng).rate
 
     def bit_distribution(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None

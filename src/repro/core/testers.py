@@ -98,10 +98,17 @@ class UniformityTester(ABC):
     def acceptance_probability(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> float:
-        """Monte Carlo estimate of P[accept] against ``distribution``."""
+        """Monte Carlo estimate of P[accept] against ``distribution``.
+
+        Runs through the engine's kernel substrate
+        (:func:`repro.engine.estimate_acceptance`), which supplies chunked
+        streaming, caching and metrics for every tester uniformly.
+        """
         if trials < 1:
             raise InvalidParameterError(f"trials must be >= 1, got {trials}")
-        return float(self.accept_batch(distribution, trials, rng).mean())
+        from ..engine import estimate_acceptance
+
+        return estimate_acceptance(self, distribution, trials=trials, rng=rng).rate
 
     def completeness(self, trials: int, rng: RngLike = None) -> float:
         """P[accept | U_n], estimated."""
@@ -174,14 +181,27 @@ class AmplifiedTester(UniformityTester):
         self.base = base
         self.repetitions = int(repetitions)
 
+    def accept_block(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Single-tile kernel: R base-kernel votes on one shared generator."""
+        from ..engine import as_kernel
+
+        generator = ensure_rng(rng)
+        kernel = as_kernel(self.base)
+        votes = np.zeros(trials, dtype=np.int64)
+        for _ in range(self.repetitions):
+            votes += np.asarray(
+                kernel.accept_block(distribution, trials, generator), dtype=np.int64
+            )
+        return votes * 2 > self.repetitions
+
     def accept_batch(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
-        generator = ensure_rng(rng)
-        votes = np.zeros(trials, dtype=np.int64)
-        for _ in range(self.repetitions):
-            votes += self.base.accept_batch(distribution, trials, generator)
-        return votes * 2 > self.repetitions
+        from ..engine import chunked_accepts
+
+        return chunked_accepts(self, distribution, trials, rng)
 
     @property
     def resources(self) -> TesterResources:

@@ -14,6 +14,7 @@ from .backend import (
 from .cache import (
     AcceptanceCache,
     distribution_fingerprint,
+    kernel_probe_key,
     probe_key,
     tester_fingerprint,
 )
@@ -26,12 +27,22 @@ from .config import (
     get_engine,
     set_engine,
 )
+from .estimate import AcceptanceEstimate, SprtSpec, estimate_acceptance
 from .executor import (
     block_seed,
     cached_acceptance_rate,
     chunked_accepts,
     derive_root_entropy,
     monte_carlo_bits,
+)
+from .kernels import (
+    KERNEL_SCHEMA_VERSION,
+    AcceptKernel,
+    BernoulliKernel,
+    ProtocolKernel,
+    TesterKernel,
+    as_kernel,
+    kernel_label,
 )
 from .metrics import EngineMetrics, collect_metrics
 from .sweep import (
@@ -50,6 +61,17 @@ __all__ = [
     "distribution_fingerprint",
     "tester_fingerprint",
     "probe_key",
+    "kernel_probe_key",
+    "AcceptKernel",
+    "KERNEL_SCHEMA_VERSION",
+    "BernoulliKernel",
+    "TesterKernel",
+    "ProtocolKernel",
+    "as_kernel",
+    "kernel_label",
+    "AcceptanceEstimate",
+    "SprtSpec",
+    "estimate_acceptance",
     "Block",
     "RNG_BLOCK_TRIALS",
     "plan_blocks",

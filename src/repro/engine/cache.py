@@ -8,17 +8,19 @@ small JSON file per probe under a content-addressed name.
 
 Keys combine:
 
-* a **tester fingerprint** — class name plus every primitive constructor
-  outcome (thresholds, k, q, ...) and, for protocol-backed testers, the
-  player/referee description;
+* a **kernel cache token** — the stable identity of the computation
+  (kernel kind + per-kernel version + tester fingerprint: class name,
+  every primitive constructor outcome, and, for protocol-backed testers,
+  the player/referee description).  Because the token names the *kind* of
+  kernel, a closeness or network curve can never collide with a protocol
+  curve that happens to share (n, q, k, seed);
 * a **distribution fingerprint** — SHA-256 of the exact pmf bytes;
-* the trial count and the derived seed identity
-  ``(entropy, spawn_key)`` of the probe's :class:`numpy.random.
-  SeedSequence`.
+* the estimation **mode** — fixed trial budget or SPRT spec;
+* the derived root-entropy seed identity.
 
-Entries store the acceptance *rate* (the quantity every search consumes),
-keeping the cache a few hundred bytes per probe even for million-trial
-runs.
+Entries store the full :class:`~repro.engine.estimate.AcceptanceEstimate`
+payload (rate, trials used, sequential verdict), keeping the cache a few
+hundred bytes per probe even for million-trial runs.
 """
 
 from __future__ import annotations
@@ -33,7 +35,8 @@ import numpy as np
 from ..exceptions import InvalidParameterError
 
 #: Bump when the cached payload or key layout changes incompatibly.
-CACHE_VERSION = 1
+#: Version 2: kernel-identity keys + full-estimate payloads.
+CACHE_VERSION = 2
 
 
 def distribution_fingerprint(distribution: Any) -> str:
@@ -74,6 +77,12 @@ def tester_fingerprint(tester: Any) -> Dict[str, Any]:
         parts.update(protocol_fingerprint(tester))
         return parts
     parts.update(_primitive_items(tester))
+    base = getattr(tester, "base", None)
+    if base is not None:
+        parts["base"] = tester_fingerprint(base)
+    inner = getattr(tester, "uniformity_tester", None)
+    if inner is not None:
+        parts["inner"] = tester_fingerprint(inner)
     protocol = getattr(tester, "_protocol", None)
     if protocol is not None:
         parts["protocol"] = protocol_fingerprint(protocol)
@@ -85,18 +94,48 @@ def seed_fingerprint(seed: np.random.SeedSequence) -> str:
     return f"{seed.entropy}:{','.join(str(k) for k in seed.spawn_key)}"
 
 
+def kernel_probe_key(
+    kernel: Any,
+    distribution: Any,
+    mode: Dict[str, Any],
+    root_entropy: int,
+) -> Dict[str, Any]:
+    """The full cache key for one kernel-based acceptance estimate.
+
+    ``mode`` is the estimation-mode descriptor (``{"trials": N}`` or
+    ``{"sprt": {...}}``); the kernel's ``cache_token`` carries the
+    identity and version of the computation itself.
+    """
+    return {
+        "version": CACHE_VERSION,
+        "kernel": dict(kernel.cache_token),
+        "distribution": (
+            "none" if distribution is None else distribution_fingerprint(distribution)
+        ),
+        "mode": mode,
+        "seed": str(int(root_entropy)),
+    }
+
+
 def probe_key(
     tester: Any,
     distribution: Any,
     trials: int,
     seed: np.random.SeedSequence,
 ) -> Dict[str, Any]:
-    """The full cache key for one acceptance-rate probe."""
+    """The cache key for one fixed-budget acceptance-rate probe.
+
+    Compatibility wrapper over :func:`kernel_probe_key`: the tester is
+    lifted onto the kernel substrate so the key includes kernel identity
+    and version.
+    """
+    from .kernels import as_kernel
+
     return {
         "version": CACHE_VERSION,
-        "tester": tester_fingerprint(tester),
+        "kernel": dict(as_kernel(tester).cache_token),
         "distribution": distribution_fingerprint(distribution),
-        "trials": int(trials),
+        "mode": {"trials": int(trials)},
         "seed": seed_fingerprint(seed),
     }
 
@@ -120,36 +159,66 @@ class AcceptanceCache:
         digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
         return os.path.join(self.cache_dir, f"accept-{digest[:40]}.json")
 
-    def get_rate(self, key: Dict[str, Any]) -> Optional[float]:
-        """The memoised acceptance rate, or ``None`` on a miss.
-
-        Corrupt or stale-format entries read as misses and are
-        overwritten by the next ``put_rate``.
-        """
+    def _read(self, key: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """One entry's payload dict, or ``None`` on miss/corruption/staleness."""
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, json.JSONDecodeError):
             return None
+        if not isinstance(payload, dict):
+            return None
         if payload.get("key", {}).get("version") != CACHE_VERSION:
             return None
-        rate = payload.get("rate")
-        return float(rate) if isinstance(rate, (int, float)) else None
+        return payload
 
-    def put_rate(self, key: Dict[str, Any], rate: float) -> str:
-        """Persist one probe result; returns the entry path.
+    def _write(self, key: Dict[str, Any], payload: Dict[str, Any]) -> str:
+        """Persist one entry atomically; returns the entry path.
 
         The write goes through a same-directory temp file + rename so
         concurrent processes never observe a torn entry.
         """
         path = self._path(key)
-        payload = {"key": key, "rate": float(rate)}
         tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, sort_keys=True)
         os.replace(tmp, path)
         return path
+
+    def get_estimate(self, key: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """The memoised estimate payload, or ``None`` on a miss.
+
+        Corrupt or stale-format entries read as misses and are
+        overwritten by the next ``put_estimate``.
+        """
+        payload = self._read(key)
+        if payload is None:
+            return None
+        estimate = payload.get("estimate")
+        return estimate if isinstance(estimate, dict) else None
+
+    def put_estimate(self, key: Dict[str, Any], estimate: Dict[str, Any]) -> str:
+        """Persist one full estimate payload; returns the entry path."""
+        return self._write(key, {"key": key, "estimate": dict(estimate)})
+
+    def get_rate(self, key: Dict[str, Any]) -> Optional[float]:
+        """The memoised acceptance rate, or ``None`` on a miss.
+
+        Reads both bare-rate entries (``put_rate``) and full estimate
+        entries (``put_estimate``).
+        """
+        payload = self._read(key)
+        if payload is None:
+            return None
+        rate = payload.get("rate")
+        if rate is None and isinstance(payload.get("estimate"), dict):
+            rate = payload["estimate"].get("rate")
+        return float(rate) if isinstance(rate, (int, float)) else None
+
+    def put_rate(self, key: Dict[str, Any], rate: float) -> str:
+        """Persist one bare probe rate; returns the entry path."""
+        return self._write(key, {"key": key, "rate": float(rate)})
 
     def __len__(self) -> int:
         return len(

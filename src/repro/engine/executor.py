@@ -140,17 +140,21 @@ def chunked_accepts(
     """Boolean accept vector of an ``accept_block`` runner, tiled.
 
     ``runner`` must expose ``accept_block(distribution, trials,
-    generator)`` — the single-tile kernel — and a ``resources`` record
-    whose ``total_samples`` sizes the tiles.  The runner is shipped to
-    workers whole, so it must be picklable.
+    generator)`` — the single-tile kernel — plus either an
+    ``elements_per_trial`` hint (native kernels) or a ``resources``
+    record whose ``total_samples`` sizes the tiles.  The runner is
+    shipped to workers whole, so it must be picklable.
     """
+    elements = getattr(runner, "elements_per_trial", None)
+    if elements is None:
+        elements = runner.resources.total_samples
     return _dispatch(
         _accepts_tile,
         runner,
         distribution,
         trials,
         rng,
-        runner.resources.total_samples,
+        int(elements),
     )
 
 
@@ -159,26 +163,12 @@ def cached_acceptance_rate(
 ) -> float:
     """P[accept] for one probe, memoised in the active acceptance cache.
 
-    The probe is a pure function of ``(tester config, distribution, trials,
-    seed identity)``; with a warm cache it performs **zero** protocol
-    executions, which the :mod:`~repro.engine.metrics` counters make
-    observable.
+    The probe is a pure function of ``(kernel identity, distribution,
+    trials, seed identity)``; with a warm cache it performs **zero**
+    protocol executions, which the :mod:`~repro.engine.metrics` counters
+    make observable.  Thin wrapper over
+    :func:`~repro.engine.estimate.estimate_acceptance`.
     """
-    from .cache import probe_key
+    from .estimate import estimate_acceptance
 
-    config = get_engine()
-    metrics = config.metrics
-    key = None
-    if config.cache is not None:
-        key = probe_key(tester, distribution, trials, seed)
-        cached = config.cache.get_rate(key)
-        if cached is not None:
-            metrics.count("cache_hits")
-            return cached
-        metrics.count("cache_misses")
-    rate = float(
-        tester.acceptance_probability(distribution, trials, np.random.default_rng(seed))
-    )
-    if config.cache is not None and key is not None:
-        config.cache.put_rate(key, rate)
-    return rate
+    return estimate_acceptance(tester, distribution, trials=trials, rng=seed).rate

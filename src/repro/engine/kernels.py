@@ -1,0 +1,253 @@
+"""The AcceptKernel substrate: one interface for every estimator.
+
+An *accept kernel* is the unit every Monte-Carlo estimation in this
+library reduces to: a pure, trial-batched function
+
+    ``accept_block(distribution, trials, generator) -> bool[trials]``
+
+plus a stable ``cache_token`` naming the computation and an
+``elements_per_trial`` sizing hint for memory-bounded tiling.  The engine
+owns everything around the kernel — chunked streaming, backends, the
+on-disk acceptance cache, metrics, and block-granular sequential early
+stopping (:func:`~repro.engine.estimate.estimate_acceptance`).
+
+Purity contract
+---------------
+``accept_block`` must be a pure function of ``(kernel configuration,
+distribution, trials, generator)``: every random draw comes from the
+passed generator, and the result depends on nothing else.  The engine
+seeds one generator per RNG block (``default_rng(SeedSequence(root,
+spawn_key=(b,)))``), which is what makes results bit-identical across
+backends, worker counts and tile sizes — and what makes the cache token a
+faithful name for the whole acceptance curve.
+
+``cache_token`` must change whenever the sampling logic or its
+calibration changes (bump the per-kernel ``kernel_version`` entry), and
+must differ between kernels that could otherwise share every numeric
+parameter — a closeness curve at (n, q) must never collide with a
+protocol curve at the same (n, q).
+
+Adapters
+--------
+:func:`as_kernel` lifts the library's existing objects onto the protocol:
+
+* objects already exposing the three members pass through unchanged;
+* chunked testers (``accept_block`` + ``resources``) are wrapped in
+  :class:`TesterKernel`, which derives the token from the engine's tester
+  fingerprint;
+* protocol-backed testers and raw ``SimultaneousProtocol`` instances get
+  a :class:`ProtocolKernel` whose block kernel reproduces the engine's
+  historical draw order bit-for-bit (samples then response bits, block by
+  block, referee applied per block — every shipped referee is row-wise).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..rng import RngLike, ensure_rng
+from .cache import tester_fingerprint
+
+#: Bump when the kernel-token layout itself changes incompatibly.
+KERNEL_SCHEMA_VERSION = 1
+
+#: Boolean accept vectors flowing out of kernels.
+BoolArray = np.ndarray
+
+
+@runtime_checkable
+class AcceptKernel(Protocol):
+    """Structural interface of an accept kernel (see module docstring)."""
+
+    @property
+    def cache_token(self) -> Dict[str, Any]:
+        """Stable JSON-serialisable identity of the computation."""
+        ...
+
+    @property
+    def elements_per_trial(self) -> int:
+        """Memory footprint hint (array elements per trial) for tiling."""
+        ...
+
+    def accept_block(
+        self, distribution: Any, trials: int, rng: RngLike = None
+    ) -> BoolArray:
+        """Boolean accept vector for one RNG block (pure in its inputs)."""
+        ...
+
+
+def kernel_label(kernel: AcceptKernel) -> str:
+    """Short per-kernel metrics label derived from the cache token."""
+    token = kernel.cache_token
+    label = token.get("class") or token.get("kind") or "kernel"
+    return str(label)
+
+
+class BernoulliKernel:
+    """A calibrated fixture kernel with *known* acceptance probability.
+
+    Accepts each trial independently with probability ``probability``,
+    ignoring the distribution argument.  This is the canonical
+    calibration instrument for the engine's sequential tests: the true
+    rate is exact, so SPRT verdicts and error rates can be checked
+    against ground truth.
+    """
+
+    def __init__(self, probability: float):
+        if not 0.0 <= probability <= 1.0:
+            raise InvalidParameterError(
+                f"probability must be in [0,1], got {probability}"
+            )
+        self.probability = float(probability)
+
+    @property
+    def cache_token(self) -> Dict[str, Any]:
+        return {
+            "schema": KERNEL_SCHEMA_VERSION,
+            "kind": "bernoulli",
+            "class": "BernoulliKernel",
+            "kernel_version": 1,
+            "probability": self.probability,
+        }
+
+    @property
+    def elements_per_trial(self) -> int:
+        return 1
+
+    def accept_block(
+        self, distribution: Any, trials: int, rng: RngLike = None
+    ) -> BoolArray:
+        generator = ensure_rng(rng)
+        return generator.random(trials) < self.probability
+
+
+class TesterKernel:
+    """Adapter lifting a chunked tester (``accept_block`` + ``resources``).
+
+    The wrapped tester's own ``accept_block`` *is* the kernel; this class
+    only supplies the token (from the engine's tester fingerprint, so
+    calibration state is covered) and the tiling hint (the tester's total
+    sample budget per execution).
+    """
+
+    def __init__(self, tester: Any):
+        if not hasattr(tester, "accept_block"):
+            raise InvalidParameterError(
+                f"{type(tester).__name__} has no accept_block kernel"
+            )
+        self.tester = tester
+
+    @property
+    def cache_token(self) -> Dict[str, Any]:
+        return {
+            "schema": KERNEL_SCHEMA_VERSION,
+            "kind": "tester",
+            "kernel_version": 1,
+            **tester_fingerprint(self.tester),
+        }
+
+    @property
+    def elements_per_trial(self) -> int:
+        return int(self.tester.resources.total_samples)
+
+    def accept_block(
+        self, distribution: Any, trials: int, rng: RngLike = None
+    ) -> BoolArray:
+        return np.asarray(self.tester.accept_block(distribution, trials, rng))
+
+    def __repr__(self) -> str:
+        return f"TesterKernel({self.tester!r})"
+
+
+class ProtocolKernel:
+    """Block kernel for protocol-backed testers and raw protocols.
+
+    Reproduces the draw order of the engine's historical
+    ``_protocol_bits_tile`` path exactly — per block: one sample matrix
+    (homogeneous) or one matrix per player (heterogeneous), then the
+    response bits, then the referee — so estimates through this kernel
+    are bit-identical to ``protocol.run_batch(...)`` under the same root
+    entropy (all shipped referees decide row-wise).
+    """
+
+    def __init__(self, owner: Any):
+        protocol = owner
+        if not (hasattr(owner, "players") and hasattr(owner, "referee")):
+            protocol = getattr(owner, "_protocol", None)
+            if protocol is None:
+                raise InvalidParameterError(
+                    f"{type(owner).__name__} exposes no protocol to run"
+                )
+        self._owner = owner
+        self._protocol = protocol
+
+    @property
+    def cache_token(self) -> Dict[str, Any]:
+        return {
+            "schema": KERNEL_SCHEMA_VERSION,
+            "kind": "protocol",
+            "kernel_version": 1,
+            **tester_fingerprint(self._owner),
+        }
+
+    @property
+    def elements_per_trial(self) -> int:
+        return int(self._protocol.total_samples)
+
+    def accept_block(
+        self, distribution: Any, trials: int, rng: RngLike = None
+    ) -> BoolArray:
+        generator = ensure_rng(rng)
+        protocol = self._protocol
+        k = protocol.num_players
+        if protocol.is_homogeneous:
+            strategy = protocol.players[0].strategy
+            q = protocol.players[0].num_samples
+            samples = distribution.sample_matrix(trials * k, q, generator)
+            bits = strategy.respond_batch(samples, generator).reshape(trials, k)
+        else:
+            bits = np.empty((trials, k), dtype=np.int64)
+            for index, player in enumerate(protocol.players):
+                samples = distribution.sample_matrix(
+                    trials, player.num_samples, generator
+                )
+                bits[:, index] = player.strategy.respond_batch(samples, generator)
+        return np.asarray(protocol.referee.decide_batch(bits), dtype=bool)
+
+    def __repr__(self) -> str:
+        return f"ProtocolKernel({type(self._owner).__name__})"
+
+
+def _satisfies_protocol(obj: Any) -> bool:
+    return (
+        hasattr(obj, "accept_block")
+        and hasattr(obj, "cache_token")
+        and hasattr(obj, "elements_per_trial")
+    )
+
+
+def as_kernel(obj: Any) -> AcceptKernel:
+    """Lift any simulatable object onto the :class:`AcceptKernel` protocol.
+
+    Resolution order: native kernels pass through; chunked testers are
+    wrapped in :class:`TesterKernel`; protocol-backed testers (and raw
+    protocols) get a :class:`ProtocolKernel`.  Anything else is an error —
+    there is deliberately no fallback that would hide a sequential-RNG
+    estimator from the engine's determinism contract.
+    """
+    if _satisfies_protocol(obj):
+        return obj  # type: ignore[no-any-return]
+    if hasattr(obj, "accept_block") and hasattr(obj, "resources"):
+        return TesterKernel(obj)
+    if (hasattr(obj, "players") and hasattr(obj, "referee")) or hasattr(
+        obj, "_protocol"
+    ):
+        return ProtocolKernel(obj)
+    raise InvalidParameterError(
+        f"{type(obj).__name__} cannot be adapted to an AcceptKernel: "
+        "expose accept_block(distribution, trials, rng) plus cache_token/"
+        "elements_per_trial (or resources), or back it with a protocol"
+    )

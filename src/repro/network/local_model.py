@@ -108,10 +108,7 @@ class LocalUniformityTester:
             samples = distribution.sample_matrix(1, player.num_samples, generator)
             bit = int(player.strategy.respond_batch(samples, generator)[0])
             alarms.append(1 - bit)
-        threshold = (
-            self._statistical.expected_uniform_alarms
-            + self._statistical.expected_far_alarms
-        ) / 2.0
+        threshold = self._alarm_threshold
         total, up_stats = convergecast_sum(
             self.graph, self.parents, alarms, self.levels
         )
@@ -131,15 +128,64 @@ class LocalUniformityTester:
             samples_per_node=self.sample_counts,
         )
 
+    @property
+    def _alarm_threshold(self) -> float:
+        """Referee cut at the midpoint of expected uniform/far alarm counts."""
+        return (
+            self._statistical.expected_uniform_alarms
+            + self._statistical.expected_far_alarms
+        ) / 2.0
+
+    @property
+    def cache_token(self) -> dict:
+        from ..engine import KERNEL_SCHEMA_VERSION
+
+        # Topology-invariant (the aggregation computes the exact alarm
+        # sum); the token pins the asymmetric-rate calibration instead.
+        return {
+            "schema": KERNEL_SCHEMA_VERSION,
+            "kind": "local",
+            "class": "LocalUniformityTester",
+            "kernel_version": 1,
+            "n": self.n,
+            "epsilon": self.epsilon,
+            "tau": self.tau,
+            "sample_counts": [int(q) for q in self.sample_counts],
+            "alarm_threshold": self._alarm_threshold,
+        }
+
+    @property
+    def elements_per_trial(self) -> int:
+        return max(1, int(sum(self.sample_counts)))
+
+    def accept_block(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Single-tile kernel replicating :meth:`run`'s per-player draws."""
+        generator = ensure_rng(rng)
+        protocol = self._statistical.protocol
+        threshold = self._alarm_threshold
+        accepts = np.empty(trials, dtype=bool)
+        for index in range(trials):
+            total = 0
+            for player in protocol.players:
+                samples = distribution.sample_matrix(
+                    1, player.num_samples, generator
+                )
+                bit = int(player.strategy.respond_batch(samples, generator)[0])
+                total += 1 - bit
+            accepts[index] = total < threshold
+        return accepts
+
     def acceptance_probability(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> float:
-        """Monte Carlo acceptance estimate."""
+        """Monte Carlo acceptance estimate, via the engine entry point."""
         if trials < 1:
             raise InvalidParameterError(f"trials must be >= 1, got {trials}")
-        generator = ensure_rng(rng)
-        hits = sum(self.run(distribution, generator).accepted for _ in range(trials))
-        return hits / trials
+        from ..engine import estimate_acceptance
+
+        return estimate_acceptance(self, distribution, trials=trials, rng=rng).rate
 
     def time_decomposition(self) -> dict:
         """The §6.2 trade-off: sampling time vs aggregation rounds."""

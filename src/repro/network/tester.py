@@ -144,15 +144,57 @@ class NetworkUniformityTester:
             ),
         )
 
+    @property
+    def cache_token(self) -> dict:
+        from ..engine import KERNEL_SCHEMA_VERSION
+
+        # The verdict is topology-invariant (convergecast computes the
+        # exact alarm sum on any connected graph), so the token carries
+        # only the statistical configuration — curves are shared across
+        # topologies but can never collide with protocol-kernel curves.
+        return {
+            "schema": KERNEL_SCHEMA_VERSION,
+            "kind": "network",
+            "class": "NetworkUniformityTester",
+            "kernel_version": 1,
+            "n": self.n,
+            "epsilon": self.epsilon,
+            "k": self.k,
+            "q": self.q,
+            "reject_threshold": self.reject_threshold,
+            "player_collision_threshold": (
+                self._reference.player_collision_threshold
+            ),
+        }
+
+    @property
+    def elements_per_trial(self) -> int:
+        return self.k * self.q
+
+    def accept_block(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Single-tile kernel: vectorised alarm counts vs the threshold.
+
+        Statistically identical to running :meth:`run` per trial — the
+        convergecast computes the exact alarm sum, so only the sum enters
+        the verdict.
+        """
+        generator = ensure_rng(rng)
+        samples = distribution.sample_matrix(trials * self.k, self.q, generator)
+        accept_bits = self._player.respond_batch(samples, generator)
+        alarm_counts = (1 - accept_bits).reshape(trials, self.k).sum(axis=1)
+        return alarm_counts < self.reject_threshold
+
     def acceptance_probability(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> float:
-        """Monte Carlo acceptance estimate (runs the full network)."""
+        """Monte Carlo acceptance estimate, via the engine entry point."""
         if trials < 1:
             raise InvalidParameterError(f"trials must be >= 1, got {trials}")
-        generator = ensure_rng(rng)
-        accepted = sum(self.run(distribution, generator).accepted for _ in range(trials))
-        return accepted / trials
+        from ..engine import estimate_acceptance
+
+        return estimate_acceptance(self, distribution, trials=trials, rng=rng).rate
 
     def __repr__(self) -> str:
         return (

@@ -244,8 +244,19 @@ class IdentityTester:
     def acceptance_probability(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> float:
-        """Monte Carlo estimate of P[accept]."""
-        return float(self.accept_batch(distribution, trials, rng).mean())
+        """Monte Carlo estimate of P[accept], via the engine entry point.
+
+        The inner uniformity tester's kernel runs against the reduced
+        view; the view's exact ``pmf`` (the reduction is a closed-form
+        linear map) is what keys the acceptance cache.
+        """
+        from ..engine import estimate_acceptance
+
+        generator = ensure_rng(rng)
+        reduced = _ReducedDistributionView(self.reduction, distribution, generator)
+        return estimate_acceptance(
+            self.uniformity_tester, reduced, trials=trials, rng=generator
+        ).rate
 
 
 class _ReducedDistributionView:
@@ -265,10 +276,22 @@ class _ReducedDistributionView:
         self._reduction = reduction
         self._source = source
         self._rng = rng
+        self._pmf: Optional[np.ndarray] = None
 
     @property
     def n(self) -> int:
         return self._reduction.output_domain_size
+
+    @property
+    def pmf(self) -> np.ndarray:
+        """Exact output pmf of the reduction (computed lazily, cached).
+
+        Lets the engine fingerprint the reduced distribution for its
+        acceptance cache exactly as it would a concrete distribution.
+        """
+        if self._pmf is None:
+            self._pmf = self._reduction.output_pmf(self._source)
+        return self._pmf
 
     def sample(self, size: int, rng: RngLike = None) -> np.ndarray:
         generator = ensure_rng(rng) if rng is not None else self._rng

@@ -140,6 +140,64 @@ def _seeded_success(
     return success
 
 
+def _seeded_classify(
+    tester,
+    alternatives: Sequence[DiscreteDistribution],
+    threshold: float,
+    sprt_margin: float,
+    sprt_error_rate: float,
+    sprt_max_trials: int,
+    root_entropy: int,
+    level: int,
+) -> tuple:
+    """(passed, empirical success rate) for one level, SPRT per side.
+
+    ``success >= threshold`` decomposes into per-side conditions —
+    completeness ``>= threshold`` and each alternative's acceptance
+    ``<= 1 - threshold`` — each classified by the engine's block-granular
+    sequential test (:func:`repro.engine.estimate_acceptance`).  Easy
+    levels resolve in one RNG block; sides are probed in a fixed order
+    with a short-circuit on the first failure, and seeds reuse the exact
+    spawn keys of :func:`_seeded_success`, so verdicts and trial counts
+    are bit-deterministic across backends, worker counts and tile sizes.
+
+    The returned rate is the minimum per-side estimate over the trials
+    the SPRT actually used (coarser than a fixed-budget estimate, by
+    design).
+    """
+    from ..engine import SprtSpec, estimate_acceptance
+
+    def probe_seed(side: int) -> np.random.SeedSequence:
+        return np.random.SeedSequence(entropy=root_entropy, spawn_key=(1, level, side))
+
+    completeness_spec = SprtSpec(
+        target=threshold,
+        margin=sprt_margin,
+        error_rate=sprt_error_rate,
+        max_trials=sprt_max_trials,
+    )
+    estimate = estimate_acceptance(
+        tester, uniform(tester.n), sprt=completeness_spec, rng=probe_seed(0)
+    )
+    success = estimate.rate
+    if not estimate.decided_above:
+        return False, success
+    soundness_spec = SprtSpec(
+        target=1.0 - threshold,
+        margin=sprt_margin,
+        error_rate=sprt_error_rate,
+        max_trials=sprt_max_trials,
+    )
+    for index, far in enumerate(alternatives):
+        far_estimate = estimate_acceptance(
+            tester, far, sprt=soundness_spec, rng=probe_seed(index + 1)
+        )
+        success = min(success, 1.0 - far_estimate.rate)
+        if far_estimate.decided_above:
+            return False, success
+    return True, success
+
+
 def _search_inputs(
     rng: RngLike,
     n: int,
@@ -216,6 +274,79 @@ def _search(
     )
 
 
+def _search_classified(
+    classify: Callable[[int], bool],
+    target: float,
+    minimum: int,
+    maximum: int,
+    resolution_factor: float,
+    curve: Dict[int, float],
+) -> SampleComplexityResult:
+    """The :func:`_search` skeleton driven by boolean SPRT verdicts.
+
+    ``classify`` is expected to record each level's empirical rate in
+    ``curve`` as a side effect; the search itself branches only on the
+    verdicts (memoised so no level is ever re-classified).
+    """
+    verdicts: Dict[int, bool] = {}
+
+    def cached(level: int) -> bool:
+        if level not in verdicts:
+            verdicts[level] = classify(level)
+        return verdicts[level]
+
+    level = minimum
+    if cached(level):
+        return SampleComplexityResult(
+            resource_star=level,
+            target=target,
+            curve=curve,
+            bracket_low=level,
+            bracket_high=level,
+        )
+    low = level
+    high = level
+    while not cached(high):
+        low = high
+        high = min(maximum, max(high + 1, int(math.ceil(high * 2))))
+        if high == low:
+            best = f" (best {max(curve.values()):.3f})" if curve else ""
+            raise SearchDivergedError(
+                f"resource search hit cap {maximum} without reaching "
+                f"target {target:.3f}{best}"
+            )
+    while high > low + 1 and high > int(low * resolution_factor):
+        mid = (low + high) // 2
+        if cached(mid):
+            high = mid
+        else:
+            low = mid
+    return SampleComplexityResult(
+        resource_star=high,
+        target=target,
+        curve=curve,
+        bracket_low=low,
+        bracket_high=high,
+    )
+
+
+def _default_sprt_budget(trials: int, sprt_max_trials: Optional[int]) -> int:
+    """The sequential trial cap: explicit, or 4× the fixed budget.
+
+    The 4× headroom lets near-threshold levels gather more evidence than
+    a fixed run would, while easy levels still stop after one RNG block —
+    the net effect on realistic searches is a large trial saving (see
+    benchmarks/test_bench_kernels.py).
+    """
+    if sprt_max_trials is not None:
+        if sprt_max_trials < 1:
+            raise InvalidParameterError(
+                f"sprt_max_trials must be >= 1, got {sprt_max_trials}"
+            )
+        return int(sprt_max_trials)
+    return max(1, 4 * int(trials))
+
+
 def empirical_sample_complexity(
     tester_factory: TesterFactory,
     n: int,
@@ -228,6 +359,10 @@ def empirical_sample_complexity(
     resolution_factor: float = 1.10,
     far_distributions: Optional[Sequence[DiscreteDistribution]] = None,
     rng: RngLike = None,
+    sprt: bool = False,
+    sprt_margin: float = 0.05,
+    sprt_error_rate: float = 0.05,
+    sprt_max_trials: Optional[int] = None,
 ) -> SampleComplexityResult:
     """Least q at which ``tester_factory(q)`` clears the success target.
 
@@ -241,19 +376,52 @@ def empirical_sample_complexity(
     resolution_factor:
         Stop refining once the bracket is within this multiplicative
         factor (scaling experiments only need exponents, not exact q*).
+    sprt:
+        Classify each level with the engine's block-granular sequential
+        test instead of paying the fixed ``trials`` budget.  Easy levels
+        (far from the target) resolve in a single RNG block; only
+        near-threshold levels approach ``sprt_max_trials`` (default 4×
+        ``trials``).  ``sprt_margin``/``sprt_error_rate`` are Wald's
+        indifference half-width and two-sided error bound.
 
     Every (q, distribution) probe runs under a seed derived from the
     search's root entropy, so results are reproducible bit-for-bit across
-    engine backends and chunk sizes, and a warm acceptance cache replays
-    the whole search without a single protocol execution.
+    engine backends and chunk sizes — in sequential mode *including* the
+    per-level ``trials_used``, since stopping decisions happen only at
+    RNG-block boundaries — and a warm acceptance cache replays the whole
+    search without a single protocol execution.
     """
     root_entropy, alternatives = _search_inputs(rng, n, epsilon, far_distributions)
+    threshold = target + margin
+
+    if sprt:
+        budget = _default_sprt_budget(trials, sprt_max_trials)
+        curve: Dict[int, float] = {}
+
+        def classify(q: int) -> bool:
+            tester = tester_factory(q)
+            passed, rate = _seeded_classify(
+                tester,
+                alternatives,
+                threshold,
+                sprt_margin,
+                sprt_error_rate,
+                budget,
+                root_entropy,
+                q,
+            )
+            curve[q] = rate
+            return passed
+
+        return _search_classified(
+            classify, threshold, q_min, q_max, resolution_factor, curve
+        )
 
     def evaluate(q: int) -> float:
         tester = tester_factory(q)
         return _seeded_success(tester, alternatives, trials, root_entropy, q)
 
-    return _search(evaluate, target + margin, q_min, q_max, resolution_factor)
+    return _search(evaluate, threshold, q_min, q_max, resolution_factor)
 
 
 def empirical_sample_complexity_sequential(
@@ -273,77 +441,39 @@ def empirical_sample_complexity_sequential(
 ) -> SampleComplexityResult:
     """SPRT-accelerated variant of :func:`empirical_sample_complexity`.
 
-    Instead of a fixed Monte-Carlo budget per candidate q, each level is
-    classified above/below the target by Wald's sequential test
-    (:func:`repro.stats.sequential.sprt_batched`) on the success indicator
-    ``accept(uniform) ∧ reject(adversarial alternative)``, stopping as soon
-    as the evidence is decisive.  Easy levels (far from the target) resolve
-    in a few batches; only near-threshold levels pay the full budget.
+    Thin wrapper over ``empirical_sample_complexity(..., sprt=True)``.
+    Each level is classified above/below the target per side
+    (completeness, then each adversarial alternative) by the engine's
+    sequential test, stopping as soon as the evidence is decisive.  Easy
+    levels resolve in a single RNG block; only near-threshold levels pay
+    the full budget.
+
+    ``batch_size`` is accepted for backwards compatibility but ignored:
+    stop/continue decisions now happen only at the engine's RNG-block
+    boundaries, which is what makes each level's verdict *and* trial
+    count bit-deterministic across backends, worker counts and tile
+    sizes (see docs/architecture.md).
 
     The recorded curve holds the *empirical success rate over the trials
     the SPRT actually used* at each level (coarser than the fixed-budget
     variant's estimates, by design).
     """
-    from .sequential import sprt_batched
-
-    generator = ensure_rng(rng)
-    alternatives = (
-        list(far_distributions)
-        if far_distributions is not None
-        else default_far_distributions(n, epsilon, generator)
-    )
-    curve: Dict[int, float] = {}
-
-    def classify(q: int) -> bool:
-        tester = tester_factory(q)
-        u = uniform(tester.n)
-
-        def batch_draw(count: int) -> int:
-            # One joint success indicator per trial: accept uniform AND
-            # reject a (rotating) adversarial alternative.
-            accept_uniform = tester.accept_batch(u, count, generator)
-            far = alternatives[int(generator.integers(0, len(alternatives)))]
-            reject_far = ~tester.accept_batch(far, count, generator)
-            return int((accept_uniform & reject_far).sum())
-
-        # Success of the joint event relates to the min of the two error
-        # sides; targeting (target)² on the joint event is the conservative
-        # product criterion.
-        joint_target = target * target + margin
-        result = sprt_batched(
-            batch_draw,
-            target=joint_target,
-            margin=margin,
-            error_rate=error_rate,
-            batch_size=batch_size,
-            max_trials=max_trials_per_level,
-        )
-        curve[q] = result.successes / result.trials_used
-        return result.decided_above
-
-    level = q_min
-    if classify_cached(level, curve, classify):
-        return SampleComplexityResult(
-            resource_star=level, target=target, curve=curve,
-            bracket_low=level, bracket_high=level,
-        )
-    low, high = level, level
-    while not classify_cached(high, curve, classify):
-        low = high
-        high = min(q_max, max(high + 1, int(math.ceil(high * 2))))
-        if high == low:
-            raise SearchDivergedError(
-                f"sequential search hit cap {q_max} without success"
-            )
-    while high > low + 1 and high > int(low * resolution_factor):
-        mid = (low + high) // 2
-        if classify_cached(mid, curve, classify):
-            high = mid
-        else:
-            low = mid
-    return SampleComplexityResult(
-        resource_star=high, target=target, curve=curve,
-        bracket_low=low, bracket_high=high,
+    del batch_size  # stopping is block-granular now; see docstring
+    return empirical_sample_complexity(
+        tester_factory,
+        n,
+        epsilon,
+        target=target,
+        margin=0.0,
+        q_min=q_min,
+        q_max=q_max,
+        resolution_factor=resolution_factor,
+        far_distributions=far_distributions,
+        rng=rng,
+        sprt=True,
+        sprt_margin=margin,
+        sprt_error_rate=error_rate,
+        sprt_max_trials=max_trials_per_level,
     )
 
 
@@ -376,17 +506,46 @@ def empirical_player_complexity(
     far_distributions: Optional[Sequence[DiscreteDistribution]] = None,
     rng: RngLike = None,
     level_rounding: Optional[Callable[[int], int]] = None,
+    sprt: bool = False,
+    sprt_margin: float = 0.05,
+    sprt_error_rate: float = 0.05,
+    sprt_max_trials: Optional[int] = None,
 ) -> SampleComplexityResult:
     """Least k at which ``tester_factory(k)`` clears the success target.
 
     ``level_rounding`` lets callers snap k to a valid value (e.g. even k
-    for paired protocols) before the factory is invoked.
+    for paired protocols) before the factory is invoked.  ``sprt`` and
+    friends behave exactly as in :func:`empirical_sample_complexity`.
     """
     root_entropy, alternatives = _search_inputs(rng, n, epsilon, far_distributions)
     rounding = level_rounding if level_rounding is not None else (lambda k: k)
+    threshold = target + margin
+
+    if sprt:
+        budget = _default_sprt_budget(trials, sprt_max_trials)
+        curve: Dict[int, float] = {}
+
+        def classify(k: int) -> bool:
+            tester = tester_factory(rounding(k))
+            passed, rate = _seeded_classify(
+                tester,
+                alternatives,
+                threshold,
+                sprt_margin,
+                sprt_error_rate,
+                budget,
+                root_entropy,
+                k,
+            )
+            curve[k] = rate
+            return passed
+
+        return _search_classified(
+            classify, threshold, k_min, k_max, resolution_factor, curve
+        )
 
     def evaluate(k: int) -> float:
         tester = tester_factory(rounding(k))
         return _seeded_success(tester, alternatives, trials, root_entropy, k)
 
-    return _search(evaluate, target + margin, k_min, k_max, resolution_factor)
+    return _search(evaluate, threshold, k_min, k_max, resolution_factor)

@@ -135,3 +135,33 @@ class TestFrequencyDithering:
     def test_window_scale_validation(self):
         with pytest.raises(InvalidParameterError):
             FrequencyDitheringLearner(8, 64, 4, window_scale=0.0)
+
+
+class TestLearningSuccessKernel:
+    def test_success_probability_tracks_learner_quality(self):
+        from repro.core import LearningSuccessKernel
+
+        target = two_level_distribution(16, 0.5)
+        good = LearningSuccessKernel(HitCountingLearner(n=16, k=4096, q=2), delta=0.25)
+        bad = LearningSuccessKernel(HitCountingLearner(n=16, k=16, q=2), delta=0.25)
+        assert good.success_probability(target, 80, rng=1) > 0.9
+        assert bad.success_probability(target, 80, rng=1) < 0.5
+
+    def test_engine_determinism_across_tile_sizes(self):
+        from repro.core import LearningSuccessKernel
+        from repro.engine import engine_context, estimate_acceptance
+
+        kernel = LearningSuccessKernel(HitCountingLearner(n=16, k=256, q=2), delta=0.3)
+        target = uniform(16)
+        baseline = estimate_acceptance(kernel, target, trials=100, rng=5)
+        with engine_context(max_elements=64):
+            tiny = estimate_acceptance(kernel, target, trials=100, rng=5)
+        assert tiny.rate == baseline.rate
+
+    def test_validation(self):
+        from repro.core import LearningSuccessKernel
+
+        with pytest.raises(InvalidParameterError):
+            LearningSuccessKernel(HitCountingLearner(n=8, k=16, q=2), delta=0.0)
+        with pytest.raises(InvalidParameterError):
+            LearningSuccessKernel(object(), delta=0.1)

@@ -1,0 +1,30 @@
+# lint-path: repro/core/bypass_example_ok.py
+"""Golden fixture: legitimate trial handling RL302 must not flag."""
+import numpy as np
+
+
+def acceptance_probability(tester, distribution, trials, rng):
+    from repro.engine import estimate_acceptance
+
+    return estimate_acceptance(tester, distribution, trials=trials, rng=rng).rate
+
+
+class Kernel:
+    def __init__(self, inner):
+        self.inner = inner
+
+    def accept_block(self, distribution, trials, rng):
+        accepts = np.empty(trials, dtype=bool)
+        for index in range(trials):
+            accepts[index] = self.inner.run(distribution, rng)
+        return accepts
+
+
+def postprocess(accepts, trials):
+    return sum(int(bit) for bit in accepts[:trials]) / trials
+
+
+def non_trial_loop(widgets, reporter):
+    for widget in range(len(widgets)):
+        reporter.run(widgets[widget])
+    return len(widgets)

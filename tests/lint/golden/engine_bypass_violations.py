@@ -1,0 +1,27 @@
+# lint-path: repro/core/bypass_example.py
+"""Golden fixture: RL302 fires for hand-rolled trial loops."""
+
+
+def statement_loop(tester, distribution, trials, generator):
+    hits = 0
+    for _ in range(trials):  # expect: RL302
+        hits += bool(tester.test(distribution, generator))
+    return hits / trials
+
+
+def genexp_loop(tester, distribution, num_trials, generator):
+    total = sum(  # expect: RL302
+        tester.test(distribution, generator) for _ in range(num_trials)
+    )
+    return total / num_trials
+
+
+def listcomp_over_runs(protocol, distribution, generator):
+    return [protocol.run(distribution, generator) for _ in range(protocol.max_trials)]  # expect: RL302
+
+
+def suppressed_oracle(tester, distribution, trials, generator):
+    hits = 0
+    for _ in range(trials):  # repro-lint: disable=RL302 reference oracle
+        hits += bool(tester.test(distribution, generator))
+    return hits / trials

@@ -63,7 +63,16 @@ def test_every_rule_family_has_a_clean_fixture():
         for name in GOLDEN_FILES
         if not expected_diagnostics(os.path.join(GOLDEN_DIR, name))
     }
-    for family in ("rng", "wallclock", "purity", "citations", "defaults", "streams"):
+    families = (
+        "rng",
+        "wallclock",
+        "purity",
+        "citations",
+        "defaults",
+        "streams",
+        "engine_bypass",
+    )
+    for family in families:
         assert any(name.startswith(family) for name in clean), family
 
 

@@ -194,3 +194,45 @@ class TestPowerCurve:
         rows = curve.as_rows()
         assert rows[0]["level"] == 8
         assert 0.0 <= rows[0]["success"] <= 1.0
+
+
+class TestSprtMode:
+    def test_sprt_agrees_with_fixed_budget(self):
+        factory = lambda q: CentralizedCollisionTester(N, EPS, q=q)  # noqa: E731
+        fixed = empirical_sample_complexity(
+            factory, N, EPS, trials=250, rng=0
+        )
+        sequential = empirical_sample_complexity(
+            factory, N, EPS, trials=250, rng=1, sprt=True
+        )
+        ratio = sequential.resource_star / fixed.resource_star
+        assert 1 / 3 <= ratio <= 3
+
+    def test_sprt_search_is_deterministic(self):
+        factory = lambda q: CentralizedCollisionTester(N, EPS, q=q)  # noqa: E731
+        a = empirical_sample_complexity(factory, N, EPS, trials=150, rng=9, sprt=True)
+        b = empirical_sample_complexity(factory, N, EPS, trials=150, rng=9, sprt=True)
+        assert a.resource_star == b.resource_star
+        assert a.curve == b.curve
+
+    def test_sprt_curve_holds_probed_levels(self):
+        factory = lambda q: CentralizedCollisionTester(N, EPS, q=q)  # noqa: E731
+        result = empirical_sample_complexity(
+            factory, N, EPS, trials=150, rng=2, sprt=True
+        )
+        assert result.resource_star in result.curve
+        assert all(0.0 <= rate <= 1.0 for rate in result.curve.values())
+
+    def test_sprt_player_complexity(self):
+        factory = lambda k: ThresholdRuleTester(N, EPS, k=max(2, k))  # noqa: E731
+        result = empirical_player_complexity(
+            factory, N, EPS, trials=150, k_min=2, k_max=4096, rng=3, sprt=True
+        )
+        assert result.resource_star >= 2
+
+    def test_sprt_max_trials_validation(self):
+        factory = lambda q: CentralizedCollisionTester(N, EPS, q=q)  # noqa: E731
+        with pytest.raises(InvalidParameterError):
+            empirical_sample_complexity(
+                factory, N, EPS, trials=100, rng=0, sprt=True, sprt_max_trials=0
+            )
