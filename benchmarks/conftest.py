@@ -28,3 +28,25 @@ def save_result(result) -> str:
 def persist():
     """Fixture exposing save_result to benchmarks."""
     return save_result
+
+
+def engine_provenance(backend) -> dict:
+    """Execution-environment record every benchmark payload embeds.
+
+    Captures what actually ran — the backend family and its true worker
+    width, the host's core count, and the backend's *measured* per-task
+    dispatch overhead — so a recorded speedup (or lack of one) can be
+    read against the hardware that produced it.
+    """
+    return {
+        "backend": backend.name,
+        "max_workers": int(getattr(backend, "max_workers", 1)),
+        "cpu_count": os.cpu_count(),
+        "dispatch_overhead_s": round(backend.dispatch_overhead_s(), 6),
+    }
+
+
+@pytest.fixture
+def provenance():
+    """Fixture exposing engine_provenance to benchmarks."""
+    return engine_provenance

@@ -21,7 +21,9 @@ import json
 import os
 import time
 
-from repro.engine import ProcessPoolBackend, SerialBackend, collect_metrics, engine_context
+from conftest import engine_provenance
+
+from repro.engine import SerialBackend, collect_metrics, engine_context, make_backend
 from repro.experiments import run_experiment
 
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_harness.json")
@@ -38,10 +40,13 @@ def _timed_run(backend):
 
 
 def test_bench_harness_serial_vs_parallel_points():
-    serial_result, serial_s, serial_metrics = _timed_run(SerialBackend())
+    serial = SerialBackend()
+    serial_result, serial_s, serial_metrics = _timed_run(serial)
 
-    pool = ProcessPoolBackend(max_workers=WORKERS)
+    pool = make_backend(WORKERS, kind="process", fresh=True)
     try:
+        pool.warmup()
+        pool_provenance = engine_provenance(pool)
         parallel_result, parallel_s, parallel_metrics = _timed_run(pool)
     finally:
         pool.close()
@@ -57,6 +62,8 @@ def test_bench_harness_serial_vs_parallel_points():
         "benchmark": "e02-small-sweep",
         "dispatch": "parallel-across-points",
         "workers": WORKERS,
+        "serial_provenance": engine_provenance(serial),
+        "parallel_provenance": pool_provenance,
         "cpu_count": os.cpu_count(),
         "serial_wall_s": round(serial_s, 3),
         "parallel_wall_s": round(parallel_s, 3),

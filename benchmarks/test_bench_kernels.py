@@ -17,12 +17,14 @@ from __future__ import annotations
 import json
 import os
 
+from conftest import engine_provenance
+
 from repro.core import CentralizedCollisionTester
 from repro.engine import (
-    ProcessPoolBackend,
     SerialBackend,
     collect_metrics,
     engine_context,
+    make_backend,
 )
 from repro.stats import empirical_sample_complexity
 
@@ -63,9 +65,12 @@ def test_bench_sprt_vs_fixed_budget():
     # Worker-count invariance of the sequential search: identical
     # resource_star and identical per-level rates under 2 and 4 workers.
     worker_results = {1: sprt_result}
+    pool_provenance = {}
     for workers in (2, 4):
-        pool = ProcessPoolBackend(max_workers=workers)
+        pool = make_backend(workers, kind="shm", fresh=True)
         try:
+            pool.warmup()
+            pool_provenance[str(workers)] = engine_provenance(pool)
             worker_results[workers], _ = _search(sprt=True, backend=pool)
         finally:
             pool.close()
@@ -90,6 +95,7 @@ def test_bench_sprt_vs_fixed_budget():
         "sprt_early_stops": int(sprt_metrics.get("sprt_early_stops", 0)),
         "sprt_trials_saved": int(sprt_metrics.get("sprt_trials_saved", 0)),
         "resource_star_by_workers": {str(w): s for w, s in stars.items()},
+        "provenance_by_workers": pool_provenance,
         "verdicts_identical_across_workers": verdicts_identical,
     }
     with open(BENCH_PATH, "w", encoding="utf-8") as handle:

@@ -84,6 +84,20 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="max sample-tensor elements per execution tile",
     )
     group.add_argument(
+        "--backend",
+        choices=("serial", "process", "shm"),
+        default=None,
+        help=(
+            "execution backend (default: serial when --workers <= 1, "
+            "shared-memory fork pool otherwise)"
+        ),
+    )
+    group.add_argument(
+        "--no-auto-tile",
+        action="store_true",
+        help="disable cost-model tile auto-sizing for parallel dispatch",
+    )
+    group.add_argument(
         "--cache-dir",
         default=None,
         help="directory for the on-disk acceptance-curve cache",
@@ -132,6 +146,8 @@ def _apply_engine_options(args: argparse.Namespace):
         workers=getattr(args, "workers", 0),
         max_elements=getattr(args, "chunk_elements", None),
         cache_dir=cache_dir,
+        backend=getattr(args, "backend", None),
+        auto_tile=not getattr(args, "no_auto_tile", False),
     )
 
 

@@ -30,9 +30,6 @@ import numpy as np
 from ..distributions.discrete import DiscreteDistribution
 from ..exceptions import InvalidParameterError
 from ..rng import RngLike, ensure_rng
-from .closeness import closeness_statistic
-
-
 def _validate_shape(n1: int, n2: int) -> None:
     if n1 < 1 or n2 < 1:
         raise InvalidParameterError(f"need n1, n2 >= 1, got {n1}, {n2}")
@@ -163,7 +160,9 @@ class IndependenceTester:
             "schema": KERNEL_SCHEMA_VERSION,
             "kind": "independence",
             "class": "IndependenceTester",
-            "kernel_version": 1,
+            # v2: counts drawn directly as independent Poissons (same law
+            # as the pairing construction, different stream).
+            "kernel_version": 2,
             "n1": self.n1,
             "n2": self.n2,
             "epsilon": self.epsilon,
@@ -178,14 +177,29 @@ class IndependenceTester:
     def accept_block(
         self, joint: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
-        """Single-tile kernel (per-trial Poissonized synthesis loop)."""
+        """Single-tile kernel: Poissonized counts for every trial at once.
+
+        Both sides are drawn directly as independent per-cell Poissons —
+        equal in law to the sequential :meth:`_counts` construction
+        (Poisson total + multinomial split on the joint side; Poisson
+        total of marginal-paired samples on the product side), since
+        Poissonization makes cell counts independent Poissons either way.
+        """
         generator = ensure_rng(rng)
-        accepts = np.empty(trials, dtype=bool)
-        for index in range(trials):
-            joint_counts, product_counts = self._counts(joint, generator)
-            statistic = closeness_statistic(joint_counts, product_counts)
-            accepts[index] = statistic <= self.threshold
-        return accepts
+        q = float(self.q)
+        shape = (trials, self.n)
+        joint_counts = generator.poisson(q * joint.pmf, size=shape).astype(
+            np.float64
+        )
+        product = product_of_marginals(joint, self.n1, self.n2)
+        product_counts = generator.poisson(q * product.pmf, size=shape).astype(
+            np.float64
+        )
+        difference = joint_counts - product_counts
+        statistics = (
+            difference * difference - joint_counts - product_counts
+        ).sum(axis=1)
+        return statistics <= self.threshold
 
     def accept_batch(
         self, joint: DiscreteDistribution, trials: int, rng: RngLike = None

@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Tuple
+
 import numpy as np
 
 from ..distributions.discrete import DiscreteDistribution
@@ -50,6 +52,42 @@ class LearningOutcome:
 def _assign_players_to_elements(k: int, n: int) -> np.ndarray:
     """Element index assigned to each of the k players (balanced round-robin)."""
     return np.arange(k, dtype=np.int64) % n
+
+
+def _per_trial_rates(
+    assignments: np.ndarray, bits: np.ndarray, trials: int, n: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-trial per-element bit rates from a (trials·k) bit vector.
+
+    Returns ``(p_hat, observers, observed)`` where ``p_hat`` is the
+    (trials × n) mean bit per assigned element (0 where unobserved),
+    ``observers`` counts players per element and ``observed`` masks
+    elements with at least one observer.
+    """
+    k = assignments.size
+    observers = np.bincount(assignments, minlength=n).astype(np.float64)
+    observed = observers > 0
+    flat_keys = (
+        np.repeat(np.arange(trials, dtype=np.int64) * n, k)
+        + np.tile(assignments, trials)
+    )
+    rate_sums = np.bincount(
+        flat_keys, weights=bits.ravel(), minlength=trials * n
+    ).reshape(trials, n)
+    p_hat = np.zeros((trials, n))
+    p_hat[:, observed] = rate_sums[:, observed] / observers[observed]
+    return p_hat, observers, observed
+
+
+def _normalise_estimates(estimates: np.ndarray, fallback: float) -> np.ndarray:
+    """Clip negatives and renormalise each row; empty rows get ``fallback``."""
+    estimates = np.clip(estimates, 0.0, None)
+    totals = estimates.sum(axis=1, keepdims=True)
+    degenerate = (totals <= 0.0).ravel()
+    safe_totals = np.where(totals <= 0.0, 1.0, totals)
+    estimates = estimates / safe_totals
+    estimates[degenerate] = fallback
+    return estimates
 
 
 class HitCountingLearner:
@@ -111,6 +149,35 @@ class HitCountingLearner:
             num_players=self.k,
             samples_per_player=self.q,
         )
+
+    def l1_errors_block(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """ℓ1 errors of ``trials`` independent protocol runs, batched.
+
+        One sample matrix covers every run; the hit bits, rate inversion
+        and renormalisation are computed row-wise.  The per-run estimate
+        law matches :meth:`learn` (the RNG stream layout differs).
+        """
+        if distribution.n != self.n:
+            raise InvalidParameterError(
+                f"distribution domain {distribution.n} != learner domain {self.n}"
+            )
+        generator = ensure_rng(rng)
+        assignments = _assign_players_to_elements(self.k, self.n)
+        samples = distribution.sample_matrix(trials * self.k, self.q, generator)
+        bits = (
+            (samples == np.tile(assignments, trials)[:, np.newaxis])
+            .any(axis=1)
+            .astype(np.float64)
+        )
+        p_hat, _, observed = _per_trial_rates(assignments, bits, trials, self.n)
+        # Invert P[hit] = 1 - (1 - μ_i)^q, clipping away the p̂ = 1 pole.
+        p_hat = np.clip(p_hat, 0.0, 1.0 - 1e-12)
+        estimates = np.full((trials, self.n), 1.0 / self.n)
+        estimates[:, observed] = 1.0 - (1.0 - p_hat[:, observed]) ** (1.0 / self.q)
+        estimates = _normalise_estimates(estimates, 1.0 / self.n)
+        return np.abs(estimates - distribution.pmf[np.newaxis, :]).sum(axis=1)
 
     def expected_error_scale(self) -> float:
         """The analytic error scale n/√(k·q) this protocol should achieve."""
@@ -190,6 +257,39 @@ class FrequencyDitheringLearner:
             samples_per_player=self.q,
         )
 
+    def l1_errors_block(
+        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """ℓ1 errors of ``trials`` independent protocol runs, batched.
+
+        Samples for every run are drawn first, then every run's dithered
+        thresholds; the per-run estimate law matches :meth:`learn` (the
+        RNG stream layout differs).
+        """
+        if distribution.n != self.n:
+            raise InvalidParameterError(
+                f"distribution domain {distribution.n} != learner domain {self.n}"
+            )
+        generator = ensure_rng(rng)
+        assignments = _assign_players_to_elements(self.k, self.n)
+        samples = distribution.sample_matrix(trials * self.k, self.q, generator)
+        frequencies = (
+            (samples == np.tile(assignments, trials)[:, np.newaxis]).sum(axis=1)
+            / float(self.q)
+        )
+        centre = 1.0 / self.n
+        thresholds = generator.uniform(
+            centre - self.window / 2.0,
+            centre + self.window / 2.0,
+            size=trials * self.k,
+        )
+        bits = (frequencies >= thresholds).astype(np.float64)
+        p_hat, _, observed = _per_trial_rates(assignments, bits, trials, self.n)
+        estimates = np.full((trials, self.n), centre)
+        estimates[:, observed] = centre + self.window * (p_hat[:, observed] - 0.5)
+        estimates = _normalise_estimates(estimates, centre)
+        return np.abs(estimates - distribution.pmf[np.newaxis, :]).sum(axis=1)
+
     def expected_error_scale(self) -> float:
         """The analytic error scale this protocol should achieve.
 
@@ -227,7 +327,10 @@ class LearningSuccessKernel:
         return {
             "schema": KERNEL_SCHEMA_VERSION,
             "kind": "learning",
-            "kernel_version": 1,
+            # v2: learners expose a batched l1_errors_block, drawing every
+            # run's samples in one matrix (same per-run law, different
+            # stream layout than the per-trial learn() loop).
+            "kernel_version": 2,
             "delta": self.delta,
             "learner": tester_fingerprint(self.learner),
         }
@@ -241,10 +344,18 @@ class LearningSuccessKernel:
     def accept_block(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
-        """Single-tile kernel: one full learning run per trial."""
+        """Single-tile kernel: all learning runs of the block, batched.
+
+        Learners exposing ``l1_errors_block`` run every trial through one
+        vectorized pass; third-party learners without it fall back to one
+        ``learn()`` call per trial.
+        """
         generator = ensure_rng(rng)
+        batch = getattr(self.learner, "l1_errors_block", None)
+        if batch is not None:
+            return np.asarray(batch(distribution, trials, generator)) <= self.delta
         accepts = np.empty(trials, dtype=bool)
-        for index in range(trials):
+        for index in range(trials):  # repro-lint: disable=RL303 third-party learner fallback
             outcome = self.learner.learn(distribution, generator)
             accepts[index] = outcome.l1_error <= self.delta
         return accepts

@@ -1,17 +1,34 @@
 """Reference Monte-Carlo oracles for differential testing.
 
 The engine's kernel substrate (:mod:`repro.engine.kernels`) is the one
-production path for acceptance estimation; these deliberately naive
-loops exist so tests can pin the substrate against an implementation too
-simple to be wrong.  They are the sanctioned exception to lint rule
-RL302 ("engine bypass") — production code must never estimate this way.
+production path for acceptance estimation, and every production
+``accept_block`` is vectorized across its trial axis; these deliberately
+naive loops exist so tests can pin both against implementations too
+simple to be wrong.  They are the sanctioned exception to lint rules
+RL302 ("engine bypass") and RL303 ("per-trial accept_block loop") —
+production code must never estimate this way.
+
+Two flavours live here:
+
+* :func:`reference_acceptance_rate` — the plainest possible sequential
+  estimate, agreeing with the engine in distribution only;
+* the ``*_reference_accept_block`` family — per-trial transcriptions of
+  the pre-vectorization kernels.  Where the vectorized kernel kept the
+  exact draw order (:class:`~repro.core.testers.SimulationTester`,
+  :class:`~repro.core.baselines.EmpiricalDistanceTester`) the oracle is
+  bit-identical under a same-seeded generator; elsewhere it matches in
+  law and differential tests compare acceptance rates statistically.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..distributions.discrete import DiscreteDistribution
 from ..exceptions import InvalidParameterError
 from ..rng import RngLike, ensure_rng
+from .closeness import closeness_statistic
+from .players import collision_counts
 
 
 def reference_acceptance_rate(
@@ -33,3 +50,172 @@ def reference_acceptance_rate(
     for _ in range(trials):  # repro-lint: disable=RL302 reference oracle
         hits += bool(tester.test(distribution, generator))
     return hits / trials
+
+
+def pairwise_hash_reference_accept_block(
+    tester: object,
+    distribution: DiscreteDistribution,
+    trials: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Per-trial transcription of the pre-vectorization
+    :class:`~repro.core.testers.PairwiseHashTester` kernel.
+
+    Hashes are drawn with ``generator.permutation`` per group per trial,
+    so the stream differs from the vectorized argsort construction —
+    compare acceptance rates, not bits.
+    """
+    generator = ensure_rng(rng)
+    accepts = np.empty(trials, dtype=bool)
+    group_size = tester.group_size
+    used_players = group_size * tester.num_groups
+    pairs_per_group = group_size * (group_size - 1) / 2.0
+    hash_fraction = 1.0 - 1.0 / tester.num_buckets
+    signal = hash_fraction * tester.epsilon**2 / tester.n
+    cutoff = 0.5 * tester.num_groups * pairs_per_group * signal
+    samples = distribution.sample_matrix(trials, used_players, generator)
+    pattern = np.arange(tester.n) % tester.num_buckets
+    for trial in range(trials):  # repro-lint: disable=RL303 reference oracle
+        hashes = np.stack(
+            [
+                pattern[generator.permutation(tester.n)]
+                for _ in range(tester.num_groups)
+            ]
+        )
+        grouped = samples[trial].reshape(tester.num_groups, group_size)
+        messages = np.take_along_axis(hashes, grouped, axis=1)
+        statistic = 0.0
+        for g in range(tester.num_groups):
+            bucket_counts = np.bincount(messages[g], minlength=tester.num_buckets)
+            collisions = float((bucket_counts * (bucket_counts - 1)).sum() / 2.0)
+            bucket_masses = (
+                np.bincount(hashes[g], minlength=tester.num_buckets) / tester.n
+            )
+            statistic += collisions - pairs_per_group * float(
+                (bucket_masses**2).sum()
+            )
+        accepts[trial] = statistic <= cutoff
+    return accepts
+
+
+def simulation_reference_accept_block(
+    tester: object,
+    distribution: DiscreteDistribution,
+    trials: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Per-trial transcription of the pre-vectorization
+    :class:`~repro.core.testers.SimulationTester` kernel.
+
+    Draw-for-draw identical to the vectorized kernel (sample matrix then
+    guesses, post-processing RNG-free), so a same-seeded comparison must
+    be bit-identical.
+    """
+    generator = ensure_rng(rng)
+    accepts = np.empty(trials, dtype=bool)
+    samples = distribution.sample_matrix(trials, tester.k, generator)
+    guesses = generator.integers(0, tester.n, size=(trials, tester.k))
+    hits = samples == guesses
+    for trial in range(trials):  # repro-lint: disable=RL303 reference oracle
+        collected = guesses[trial][hits[trial]]
+        m = collected.size
+        if m < 2:
+            accepts[trial] = True  # not enough evidence to reject
+            continue
+        count = int(collision_counts(collected[np.newaxis, :])[0])
+        pairs = m * (m - 1) / 2.0
+        threshold = pairs * (1.0 + tester.epsilon**2 / 2.0) / tester.n
+        accepts[trial] = count <= threshold
+    return accepts
+
+
+def empirical_distance_reference_accept_block(
+    tester: object,
+    distribution: DiscreteDistribution,
+    trials: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Per-trial transcription of the pre-vectorization
+    :class:`~repro.core.baselines.EmpiricalDistanceTester` kernel.
+
+    Same single upfront sample draw as the offset-bincount version —
+    bit-identical under a same-seeded generator.
+    """
+    generator = ensure_rng(rng)
+    samples = distribution.sample_matrix(trials, tester.q, generator)
+    statistics = np.empty(trials, dtype=np.float64)
+    flat = 1.0 / tester.n
+    for index in range(trials):  # repro-lint: disable=RL303 reference oracle
+        histogram = np.bincount(samples[index], minlength=tester.n) / tester.q
+        statistics[index] = float(np.abs(histogram - flat).sum())
+    return statistics <= tester.distance_threshold
+
+
+def independence_reference_accept_block(
+    tester: object,
+    joint: DiscreteDistribution,
+    trials: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Per-trial transcription of the pre-vectorization
+    :class:`~repro.core.independence.IndependenceTester` kernel.
+
+    Uses the sequential Poissonized pairing construction (``_counts``):
+    equal in law to the vectorized per-cell Poisson draws, different
+    stream — compare acceptance rates, not bits.
+    """
+    generator = ensure_rng(rng)
+    accepts = np.empty(trials, dtype=bool)
+    for index in range(trials):  # repro-lint: disable=RL303 reference oracle
+        joint_counts, product_counts = tester._counts(joint, generator)
+        statistic = closeness_statistic(joint_counts, product_counts)
+        accepts[index] = statistic <= tester.threshold
+    return accepts
+
+
+def learning_reference_accept_block(
+    kernel: object,
+    distribution: DiscreteDistribution,
+    trials: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Per-trial transcription of the pre-vectorization
+    :class:`~repro.core.learning.LearningSuccessKernel`: one full
+    ``learn()`` run per trial on a shared sequential generator.
+
+    Equal in per-run law to the batched ``l1_errors_block`` path,
+    different stream — compare success rates, not bits.
+    """
+    generator = ensure_rng(rng)
+    accepts = np.empty(trials, dtype=bool)
+    for index in range(trials):  # repro-lint: disable=RL303 reference oracle
+        outcome = kernel.learner.learn(distribution, generator)
+        accepts[index] = outcome.l1_error <= kernel.delta
+    return accepts
+
+
+def local_model_reference_accept_block(
+    tester: object,
+    distribution: DiscreteDistribution,
+    trials: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Per-trial transcription of the pre-vectorization
+    :class:`~repro.network.local_model.LocalUniformityTester` kernel:
+    every player samples and responds once per trial, sequentially.
+
+    Equal in per-trial law to the per-player batched kernel, different
+    stream — compare acceptance rates, not bits.
+    """
+    generator = ensure_rng(rng)
+    protocol = tester._statistical.protocol
+    threshold = tester._alarm_threshold
+    accepts = np.empty(trials, dtype=bool)
+    for index in range(trials):  # repro-lint: disable=RL303 reference oracle
+        total = 0
+        for player in protocol.players:
+            samples = distribution.sample_matrix(1, player.num_samples, generator)
+            bit = int(player.strategy.respond_batch(samples, generator)[0])
+            total += 1 - bit
+        accepts[index] = total < threshold
+    return accepts

@@ -514,12 +514,16 @@ class PairwiseHashTester(UniformityTester):
 
         return chunked_accepts(self, distribution, trials, rng)
 
+    #: v2: public hashes drawn as one batched argsort of uniform keys
+    #: (same law — a uniform random permutation of the balanced bucket
+    #: pattern per (trial, group) — but a different draw order).
+    kernel_version = 2
+
     def accept_block(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
-        """Single-tile kernel (per-trial hash resampling loop)."""
+        """Single-tile kernel, vectorised across trials and groups."""
         generator = ensure_rng(rng)
-        accepts = np.empty(trials, dtype=bool)
         group_size = self.group_size
         used_players = group_size * self.num_groups
         pairs_per_group = group_size * (group_size - 1) / 2.0
@@ -531,35 +535,35 @@ class PairwiseHashTester(UniformityTester):
         # dominant hash-selection noise term (bucket-size fluctuation times
         # the ε-perturbation), which otherwise caps soundness (see class doc).
         pattern = np.arange(self.n) % self.num_buckets
-        for trial in range(trials):
-            # Fresh public randomness per execution: one balanced hash per
-            # group, obtained by permuting the bucket pattern.
-            hashes = np.stack(
-                [
-                    pattern[generator.permutation(self.n)]
-                    for _ in range(self.num_groups)
-                ]
-            )
-            grouped = samples[trial].reshape(self.num_groups, group_size)
-            messages = np.take_along_axis(
-                hashes, grouped, axis=1
-            )
-            statistic = 0.0
-            for g in range(self.num_groups):
-                bucket_counts = np.bincount(
-                    messages[g], minlength=self.num_buckets
-                )
-                collisions = float(
-                    (bucket_counts * (bucket_counts - 1)).sum() / 2.0
-                )
-                bucket_masses = (
-                    np.bincount(hashes[g], minlength=self.num_buckets) / self.n
-                )
-                statistic += collisions - pairs_per_group * float(
-                    (bucket_masses**2).sum()
-                )
-            accepts[trial] = statistic <= cutoff
-        return accepts
+        # Fresh public randomness per (trial, group): a uniform random
+        # permutation of the bucket pattern, realised as argsort of
+        # i.i.d. uniform keys so every row draws at once.
+        rows = trials * self.num_groups
+        keys = generator.random((rows, self.n))
+        hashes = pattern[np.argsort(keys, axis=1, kind="stable")]
+        grouped = samples.reshape(rows, group_size)
+        messages = np.take_along_axis(hashes, grouped, axis=1)
+        # Per-row bucket counts via one offset bincount.
+        offsets = np.arange(rows, dtype=np.int64)[:, np.newaxis] * self.num_buckets
+        bucket_counts = np.bincount(
+            (messages + offsets).ravel(), minlength=rows * self.num_buckets
+        ).reshape(rows, self.num_buckets)
+        collisions = (bucket_counts * (bucket_counts - 1)).sum(axis=1) / 2.0
+        # Every hash is a permutation of the same balanced pattern, so
+        # the conditional uniform collision mass Σ_b (|h⁻¹(b)|/n)² is one
+        # exactly-computable constant shared by all rows.
+        pattern_masses = np.bincount(pattern, minlength=self.num_buckets) / self.n
+        expected = pairs_per_group * float((pattern_masses**2).sum())
+        statistics = (
+            (collisions - expected).reshape(trials, self.num_groups).sum(axis=1)
+        )
+        return statistics <= cutoff
+
+    @property
+    def elements_per_trial(self) -> int:
+        # The per-(trial, group) uniform key matrix dominates the
+        # footprint; the samples add one row of k.
+        return self.num_groups * self.n + self.k
 
     @property
     def resources(self) -> TesterResources:
@@ -595,23 +599,32 @@ class SimulationTester(UniformityTester):
     def accept_block(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
-        """Single-tile kernel: sample, guess, collect hits, test collisions."""
+        """Single-tile kernel: sample, guess, collect hits, test collisions.
+
+        Bit-identical to the per-trial formulation: the draws happen up
+        front in the same order, and the hit post-processing is RNG-free.
+        """
         generator = ensure_rng(rng)
-        accepts = np.empty(trials, dtype=bool)
         samples = distribution.sample_matrix(trials, self.k, generator)
         guesses = generator.integers(0, self.n, size=(trials, self.k))
         hits = samples == guesses
-        for trial in range(trials):
-            collected = guesses[trial][hits[trial]]
-            m = collected.size
-            if m < 2:
-                accepts[trial] = True  # not enough evidence to reject
-                continue
-            count = int(collision_counts(collected[np.newaxis, :])[0])
-            pairs = m * (m - 1) / 2.0
-            threshold = pairs * (1.0 + self.epsilon**2 / 2.0) / self.n
-            accepts[trial] = count <= threshold
-        return accepts
+        collected_counts = hits.sum(axis=1)
+        # Collision pairs among each trial's collected values: run-length
+        # encode the sorted (trial, value) keys, then Σ C(run, 2) per trial.
+        trial_of_hit, column = np.nonzero(hits)
+        values = guesses[trial_of_hit, column]
+        keys = trial_of_hit * self.n + values
+        keys.sort(kind="stable")
+        pair_counts = np.zeros(trials, dtype=np.int64)
+        if keys.size:
+            boundaries = np.flatnonzero(np.diff(keys)) + 1
+            starts = np.concatenate(([0], boundaries))
+            runs = np.diff(np.concatenate((starts, [keys.size])))
+            np.add.at(pair_counts, keys[starts] // self.n, runs * (runs - 1) // 2)
+        pairs = collected_counts * (collected_counts - 1) / 2.0
+        thresholds = pairs * (1.0 + self.epsilon**2 / 2.0) / self.n
+        # Fewer than two collected samples is not enough evidence to reject.
+        return (collected_counts < 2) | (pair_counts <= thresholds)
 
     @property
     def resources(self) -> TesterResources:

@@ -6,9 +6,12 @@ for the architecture tour.
 """
 
 from .backend import (
+    BACKEND_KINDS,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    SharedMemoryBackend,
+    close_warm_backends,
     make_backend,
 )
 from .cache import (
@@ -18,7 +21,14 @@ from .cache import (
     probe_key,
     tester_fingerprint,
 )
-from .chunking import RNG_BLOCK_TRIALS, Block, plan_blocks, plan_tiles
+from .chunking import (
+    RNG_BLOCK_TRIALS,
+    Block,
+    plan_blocks,
+    plan_cost_tiles,
+    plan_tiles,
+    tile_trials,
+)
 from .config import (
     DEFAULT_MAX_ELEMENTS,
     EngineConfig,
@@ -44,7 +54,7 @@ from .kernels import (
     as_kernel,
     kernel_label,
 )
-from .metrics import EngineMetrics, collect_metrics
+from .metrics import EngineMetrics, collect_metrics, monotonic_clock
 from .sweep import (
     SWEEP_SPAWN_DOMAIN,
     map_sweep_points,
@@ -56,6 +66,9 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "SharedMemoryBackend",
+    "BACKEND_KINDS",
+    "close_warm_backends",
     "make_backend",
     "AcceptanceCache",
     "distribution_fingerprint",
@@ -76,6 +89,8 @@ __all__ = [
     "RNG_BLOCK_TRIALS",
     "plan_blocks",
     "plan_tiles",
+    "plan_cost_tiles",
+    "tile_trials",
     "EngineConfig",
     "DEFAULT_MAX_ELEMENTS",
     "configure_engine",
@@ -89,6 +104,7 @@ __all__ = [
     "derive_root_entropy",
     "EngineMetrics",
     "collect_metrics",
+    "monotonic_clock",
     "SWEEP_SPAWN_DOMAIN",
     "point_seed",
     "run_sweep_point",

@@ -142,15 +142,23 @@ class TesterKernel:
 
     @property
     def cache_token(self) -> Dict[str, Any]:
+        # Testers that change their accept_block draw order bump a class
+        # attribute kernel_version so stale cached curves cannot be read.
         return {
             "schema": KERNEL_SCHEMA_VERSION,
             "kind": "tester",
-            "kernel_version": 1,
+            "kernel_version": int(getattr(self.tester, "kernel_version", 1)),
             **tester_fingerprint(self.tester),
         }
 
     @property
     def elements_per_trial(self) -> int:
+        # Prefer the tester's own footprint hint: vectorised kernels can
+        # materialise more than one element per drawn sample (e.g. public
+        # hash tables), and the hint is what keeps tiles memory-bounded.
+        hint = getattr(self.tester, "elements_per_trial", None)
+        if hint is not None:
+            return max(1, int(hint))
         return int(self.tester.resources.total_samples)
 
     def accept_block(

@@ -28,6 +28,17 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
+def monotonic_clock() -> float:
+    """Monotonic seconds from :func:`time.perf_counter`.
+
+    The engine's default injectable clock: this module is allowlisted by
+    the wall-clock lint rule, so backend overhead probes and the tile
+    auto-sizer borrow their clock from here (or accept an injected one)
+    instead of reading ``time`` directly.
+    """
+    return time.perf_counter()
+
+
 #: Counter names every snapshot reports (zero-filled when untouched).
 COUNTER_NAMES = (
     "protocol_trials",

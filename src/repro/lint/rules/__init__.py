@@ -1,11 +1,21 @@
 """Built-in lint rules; importing this package registers them all."""
 
-from . import citations, defaults, engine_bypass, purity, rng, streams, wallclock
+from . import (
+    citations,
+    defaults,
+    engine_bypass,
+    engine_perf,
+    purity,
+    rng,
+    streams,
+    wallclock,
+)
 
 __all__ = [
     "citations",
     "defaults",
     "engine_bypass",
+    "engine_perf",
     "purity",
     "rng",
     "streams",

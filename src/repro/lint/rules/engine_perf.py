@@ -1,0 +1,99 @@
+"""Engine-perf rule (RL303).
+
+An ``accept_block`` kernel is the engine's innermost hot path: every
+Monte-Carlo trial of every sweep flows through one.  A per-trial Python
+loop there — ``for index in range(trials): ...`` — costs one interpreter
+round-trip per trial and silently caps the parallel backends (the tile
+dispatch overhead is amortised against vectorized tile cost, not a
+Python loop).  Every production kernel batches its trial axis with
+NumPy: one upfront sample matrix, offset bincounts, row-wise statistics.
+
+The rule flags trial-indexed loops (statement loops and comprehensions
+alike) inside functions named ``accept_block`` — or ending with
+``accept_block``, which catches the reference oracles of
+:mod:`repro.core.oracles`; those per-trial transcriptions are the
+sanctioned exception and carry explicit pragmas.  Fallback loops over
+third-party objects that expose no batch API are likewise allowed via
+pragma with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from ..context import ModuleContext
+from ..diagnostics import Diagnostic
+from ..registry import Rule, register_rule
+from .engine_bypass import _is_trial_range
+
+ComprehensionNode = Union[ast.GeneratorExp, ast.ListComp, ast.SetComp]
+
+
+def _is_kernel_function(name: str) -> bool:
+    """Whether ``name`` is an accept_block kernel (or a named variant)."""
+    return name == "accept_block" or name.endswith("accept_block")
+
+
+class _KernelLoopCollector(ast.NodeVisitor):
+    """Collect per-trial loops inside accept_block-named functions."""
+
+    def __init__(self) -> None:
+        self.offenders: List[ast.AST] = []
+        self._kernel_depth = 0
+
+    def _visit_function(self, node: ast.AST, name: str) -> None:
+        inside = _is_kernel_function(name)
+        self._kernel_depth += inside
+        self.generic_visit(node)
+        self._kernel_depth -= inside
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._kernel_depth and _is_trial_range(node.iter):
+            self.offenders.append(node)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ComprehensionNode) -> None:
+        if self._kernel_depth and any(
+            _is_trial_range(gen.iter) for gen in node.generators
+        ):
+            self.offenders.append(node)
+        self.generic_visit(node)
+
+    visit_GeneratorExp = _visit_comprehension
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+
+
+@register_rule
+class EnginePerf(Rule):
+    """accept_block kernels must batch their trial axis."""
+
+    code = "RL303"
+    name = "engine-perf"
+    summary = "per-trial Python loop inside an accept_block kernel"
+    rationale = (
+        "accept_block is the engine's hot path; a Python loop over trials "
+        "costs one interpreter round-trip per trial and defeats the "
+        "parallel backends' dispatch amortisation.  Batch the trial axis "
+        "with NumPy (sample matrices, offset bincounts, row-wise "
+        "statistics); per-trial fallbacks for third-party objects with no "
+        "batch API need an explicit pragma."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        collector = _KernelLoopCollector()
+        collector.visit(ctx.tree)
+        for node in collector.offenders:
+            yield self.diag(
+                ctx,
+                node,
+                "per-trial loop in accept_block; vectorize the trial axis "
+                "(or pragma a justified third-party fallback)",
+            )

@@ -146,7 +146,9 @@ class LocalUniformityTester:
             "schema": KERNEL_SCHEMA_VERSION,
             "kind": "local",
             "class": "LocalUniformityTester",
-            "kernel_version": 1,
+            # v2: accept_block batches draws per player across all trials
+            # (same per-trial law, different stream layout).
+            "kernel_version": 2,
             "n": self.n,
             "epsilon": self.epsilon,
             "tau": self.tau,
@@ -161,21 +163,24 @@ class LocalUniformityTester:
     def accept_block(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
     ) -> np.ndarray:
-        """Single-tile kernel replicating :meth:`run`'s per-player draws."""
+        """Single-tile kernel: every trial's run of each player, batched.
+
+        Each player draws all its trials' sample rows in one matrix and
+        answers them in one ``respond_batch`` call — same per-trial law
+        as :meth:`run`, with the alarm sum accumulated across players.
+        """
         generator = ensure_rng(rng)
         protocol = self._statistical.protocol
-        threshold = self._alarm_threshold
-        accepts = np.empty(trials, dtype=bool)
-        for index in range(trials):
-            total = 0
-            for player in protocol.players:
-                samples = distribution.sample_matrix(
-                    1, player.num_samples, generator
-                )
-                bit = int(player.strategy.respond_batch(samples, generator)[0])
-                total += 1 - bit
-            accepts[index] = total < threshold
-        return accepts
+        alarm_totals = np.zeros(trials, dtype=np.int64)
+        for player in protocol.players:
+            samples = distribution.sample_matrix(
+                trials, player.num_samples, generator
+            )
+            bits = np.asarray(
+                player.strategy.respond_batch(samples, generator), dtype=np.int64
+            )
+            alarm_totals += 1 - bits
+        return alarm_totals < self._alarm_threshold
 
     def acceptance_probability(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.engine import ProcessPoolBackend, SerialBackend, make_backend
+from repro.engine import (
+    BACKEND_KINDS,
+    ProcessPoolBackend,
+    SerialBackend,
+    SharedMemoryBackend,
+    close_warm_backends,
+    make_backend,
+)
 from repro.engine.backend import ExecutionBackend
 from repro.exceptions import InvalidParameterError
 
@@ -65,6 +72,78 @@ class TestProcessPoolBackend:
             ProcessPoolBackend(max_workers=0)
 
 
+class TestSharedMemoryBackend:
+    def test_is_a_process_pool(self):
+        backend = SharedMemoryBackend(max_workers=2)
+        try:
+            assert isinstance(backend, ProcessPoolBackend)
+            assert backend.name == "shm"
+        finally:
+            backend.close()
+
+    def test_map_tasks_still_works(self):
+        backend = SharedMemoryBackend(max_workers=2)
+        try:
+            assert backend.map_tasks(_square, [(i,) for i in range(4)]) == [
+                0,
+                1,
+                4,
+                9,
+            ]
+        finally:
+            backend.close()
+
+    def test_close_unlinks_shipments(self):
+        from repro.engine import (
+            BernoulliKernel,
+            derive_root_entropy,
+            plan_blocks,
+            plan_tiles,
+        )
+
+        backend = SharedMemoryBackend(max_workers=2)
+        kernel = BernoulliKernel(0.5)
+        from repro.distributions.discrete import uniform
+
+        distribution = uniform(8)
+        blocks = plan_blocks(256)
+        tiles = plan_tiles(blocks, 1, max_elements=64)
+        accepts = backend.map_accept_tiles(
+            kernel, distribution, tiles, derive_root_entropy(0)
+        )
+        assert sum(a.size for a in accepts) == 256
+        assert backend._shipments
+        backend.close()
+        assert not backend._shipments
+
+
+class TestDispatchOverhead:
+    def test_serial_overhead_is_measured_and_cached(self):
+        backend = SerialBackend()
+        first = backend.dispatch_overhead_s()
+        assert first >= 0.0
+        assert backend.dispatch_overhead_s() == first
+
+    def test_pool_overhead_positive_and_reset_on_close(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        try:
+            overhead = backend.dispatch_overhead_s()
+            assert overhead > 0.0
+            assert backend._dispatch_overhead == overhead
+        finally:
+            backend.close()
+        assert backend._dispatch_overhead is None
+
+    def test_warmup_spins_up_pool(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        try:
+            assert backend._executor is None
+            backend.warmup()
+            assert backend._executor is not None
+        finally:
+            backend.close()
+
+
 class TestMakeBackend:
     @pytest.mark.parametrize("workers", [None, 0, 1])
     def test_serial_for_trivial_widths(self, workers):
@@ -74,3 +153,41 @@ class TestMakeBackend:
         backend = make_backend(3)
         assert isinstance(backend, ProcessPoolBackend)
         assert backend.max_workers == 3
+
+    def test_kind_selects_backend_class(self):
+        try:
+            assert isinstance(make_backend(2, kind="process"), ProcessPoolBackend)
+            assert isinstance(make_backend(2, kind="shm"), SharedMemoryBackend)
+            assert isinstance(make_backend(2, kind="serial"), SerialBackend)
+        finally:
+            close_warm_backends()
+
+    def test_default_parallel_kind_is_shm(self):
+        try:
+            assert isinstance(make_backend(2), SharedMemoryBackend)
+        finally:
+            close_warm_backends()
+
+    def test_warm_pool_reused_across_calls(self):
+        try:
+            first = make_backend(2, kind="process")
+            assert make_backend(2, kind="process") is first
+            assert make_backend(3, kind="process") is not first
+        finally:
+            close_warm_backends()
+
+    def test_fresh_bypasses_warm_pool(self):
+        try:
+            warm = make_backend(2, kind="process")
+            fresh = make_backend(2, kind="process", fresh=True)
+            assert fresh is not warm
+            fresh.close()
+        finally:
+            close_warm_backends()
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(InvalidParameterError):
+            make_backend(2, kind="threads")
+
+    def test_backend_kinds_constant(self):
+        assert BACKEND_KINDS == ("serial", "process", "shm")

@@ -15,7 +15,7 @@ class Kernel:
 
     def accept_block(self, distribution, trials, rng):
         accepts = np.empty(trials, dtype=bool)
-        for index in range(trials):
+        for index in range(trials):  # repro-lint: disable=RL303 third-party fallback
             accepts[index] = self.inner.run(distribution, rng)
         return accepts
 

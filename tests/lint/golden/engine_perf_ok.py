@@ -1,0 +1,29 @@
+# lint-path: repro/core/perf_example_ok.py
+"""Golden fixture: batched kernels and non-trial loops RL303 must not flag."""
+import numpy as np
+
+
+class VectorizedKernel:
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, 10, rng)
+        offsets = np.arange(trials, dtype=np.int64)[:, np.newaxis] * 4
+        histograms = np.bincount(
+            (samples + offsets).ravel(), minlength=trials * 4
+        ).reshape(trials, 4)
+        return histograms.max(axis=1) <= 3
+
+
+class PerPlayerKernel:
+    def accept_block(self, distribution, trials, rng):
+        totals = np.zeros(trials, dtype=np.int64)
+        for player in self.players:
+            samples = distribution.sample_matrix(trials, player.width, rng)
+            totals += samples.sum(axis=1)
+        return totals < self.threshold
+
+
+def trial_loop_outside_kernel(results, trials):
+    rates = []
+    for index in range(trials):
+        rates.append(results[index])
+    return rates

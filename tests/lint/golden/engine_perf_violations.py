@@ -1,0 +1,34 @@
+# lint-path: repro/core/perf_example.py
+"""Golden fixture: RL303 fires for per-trial loops in accept_block."""
+import numpy as np
+
+
+class LoopedKernel:
+    def accept_block(self, distribution, trials, rng):
+        accepts = np.empty(trials, dtype=bool)
+        for index in range(trials):  # expect: RL303
+            samples = distribution.sample_matrix(1, 10, rng)
+            accepts[index] = samples.sum() > 0
+        return accepts
+
+
+def reference_accept_block(tester, distribution, trials, rng):
+    return np.array(
+        [  # expect: RL303
+            tester.statistic(distribution.sample_matrix(1, 4, rng))
+            for _ in range(trials)
+        ]
+    )
+
+
+def genexp_accept_block(kernel, distribution, num_trials, rng):
+    return sum(  # expect: RL303
+        kernel.statistic(distribution, rng) for _ in range(num_trials)
+    )
+
+
+def suppressed_accept_block(tester, distribution, trials, rng):
+    accepts = np.empty(trials, dtype=bool)
+    for index in range(trials):  # repro-lint: disable=RL303 reference oracle
+        accepts[index] = tester.statistic(distribution, rng) > 0
+    return accepts

@@ -71,6 +71,7 @@ def test_every_rule_family_has_a_clean_fixture():
         "defaults",
         "streams",
         "engine_bypass",
+        "engine_perf",
     )
     for family in families:
         assert any(name.startswith(family) for name in clean), family
