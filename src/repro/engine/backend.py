@@ -28,6 +28,7 @@ Beyond ``map_tasks`` every backend offers:
 
 from __future__ import annotations
 
+import atexit
 import os
 from abc import ABC, abstractmethod
 from typing import (
@@ -276,11 +277,20 @@ class SharedMemoryBackend(ProcessPoolBackend):
             segment = shared_memory.SharedMemory(
                 create=True, size=max(1, len(blob))
             )
-            segment.buf[: len(blob)] = blob
-            # Fork-inheritance fast path: workers forked after this line
-            # see the pair without ever touching the segment.
-            shm.register_shipment(token, kernel, distribution)
-            shipment = _Shipment(token, segment, len(blob), kernel, distribution)
+            try:
+                segment.buf[: len(blob)] = blob
+                # Fork-inheritance fast path: workers forked after this
+                # line see the pair without ever touching the segment.
+                shm.register_shipment(token, kernel, distribution)
+                shipment = _Shipment(
+                    token, segment, len(blob), kernel, distribution
+                )
+            except BaseException:
+                # Nothing owns the segment yet: without this it would
+                # linger in /dev/shm until the resource tracker exits.
+                segment.close()
+                segment.unlink()
+                raise
             self._shipments[key] = shipment
         return shipment
 
@@ -347,6 +357,13 @@ def close_warm_backends() -> int:
         closed += 1
     _WARM_BACKENDS.clear()
     return closed
+
+
+# Warm pools outlive every function scope, so interpreter exit is the
+# only release point: without this hook the shm segments of a warm
+# SharedMemoryBackend are reported as leaked by the resource tracker
+# and pool workers are reaped by the OS instead of shut down.
+atexit.register(close_warm_backends)
 
 
 def make_backend(

@@ -26,6 +26,7 @@ a restored point is indistinguishable from a freshly computed one.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import inspect
 import json
@@ -262,8 +263,16 @@ class SweepCheckpoint:
     def _atomic_write(self, path: str, payload: Any) -> None:
         os.makedirs(self.run_dir, exist_ok=True)
         tmp = f"{path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+        except BaseException:
+            # A half-written .tmp (unserialisable payload, full disk)
+            # must not survive: resume() globs the run dir and a stale
+            # tmp would shadow the next attempt's atomic replace.
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
         os.replace(tmp, path)
 
 

@@ -3,7 +3,8 @@
 Usage::
 
     python -m repro.lint [paths ...] [--select RL1,RL401] [--ignore RL5]
-                         [--format text|json|github] [--jobs N]
+                         [--format text|json|github|sarif] [--jobs N]
+                         [--no-cache] [--cache-dir DIR] [--stats]
                          [--list-rules]
 
 Exit codes follow linter convention: ``0`` clean, ``1`` diagnostics
@@ -17,6 +18,12 @@ and an ignore always beats a select naming the same code.
 ``--jobs N`` fans per-file rule evaluation out to N worker processes.
 Whole-program dataflow analysis is still built once, in the parent, and
 output is byte-identical to the serial pass.
+
+The incremental cache is on by default (``.repro-lint-cache/``): files
+whose content and transitive import closure are unchanged replay their
+recorded diagnostics.  Warm output is byte-identical to a cold run;
+``--stats`` prints hit/miss/timing counters to stderr (never stdout, so
+piped output is unaffected).
 """
 
 from __future__ import annotations
@@ -26,8 +33,11 @@ import json
 import sys
 from typing import List, Optional
 
+from .cache import DEFAULT_CACHE_DIR, CacheStats
+from .diagnostics import sarif_document
 from .registry import rule_classes
 from .runner import LintUsageError, iter_python_files, lint_paths
+from ..engine.metrics import monotonic_clock
 
 #: Exit codes (linter convention).
 EXIT_CLEAN = 0
@@ -66,9 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json", "github"),
+        choices=("text", "json", "github", "sarif"),
         default="text",
-        help="diagnostic output format (github = ::error annotations)",
+        help="diagnostic output format (github = ::error annotations, "
+        "sarif = SARIF 2.1.0 document)",
     )
     parser.add_argument(
         "--jobs",
@@ -77,6 +88,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for per-file rule evaluation "
         "(output is byte-identical to serial; default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache (always lint everything)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"incremental cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache hit/miss and timing counters to stderr",
     )
     parser.add_argument(
         "--list-rules",
@@ -97,19 +124,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         _print_rule_catalog()
         return EXIT_CLEAN
+    stats = CacheStats()
+    started = monotonic_clock()
     try:
         diagnostics = lint_paths(
             args.paths,
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
             jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            stats=stats,
         )
         scanned = len(iter_python_files(args.paths))
     except LintUsageError as error:
         print(f"repro.lint: error: {error}", file=sys.stderr)
         return EXIT_USAGE
+    stats.elapsed_seconds = monotonic_clock() - started
+    if args.stats:
+        if args.no_cache:
+            print(
+                "repro.lint: cache disabled "
+                f"elapsed={stats.elapsed_seconds:.3f}s",
+                file=sys.stderr,
+            )
+        else:
+            print(stats.format(), file=sys.stderr)
     if args.format == "json":
         print(json.dumps([d.to_json() for d in diagnostics], indent=2))
+    elif args.format == "sarif":
+        summaries = {
+            rule_class.code: rule_class.summary
+            for rule_class in rule_classes()
+        }
+        print(json.dumps(sarif_document(diagnostics, summaries), indent=2))
     elif args.format == "github":
         for diagnostic in diagnostics:
             print(diagnostic.format_github())

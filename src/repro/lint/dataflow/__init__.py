@@ -17,11 +17,20 @@ The package layers bottom-up:
 ``intra``
     The abstract interpreter over one function body: produces a
     summary and the RL6xx raw findings.
+``cfg``
+    Statement-level control-flow graphs with exception and
+    ``try/finally``/``with`` edges (the RL7xx substrate).
+``resources``
+    The resource-lifecycle interpreter over the CFG: acquisition-state
+    lattice, ownership-transfer summaries, and the RL701–RL704
+    detectors.
 ``program``
-    The driver: summary fixpoint over the call graph, then a reporting
-    pass; results are picklable for the ``--jobs N`` runner.
+    The driver: summary fixpoint over the call graph (determinism and
+    resource passes), then a reporting pass; results are picklable for
+    the ``--jobs N`` runner.
 """
 
+from .cfg import ControlFlowGraph, build_cfg
 from .intra import RawFinding, analyze_function
 from .lattice import (
     EntropyTag,
@@ -32,19 +41,24 @@ from .lattice import (
     Value,
 )
 from .program import ProgramAnalysis, analyze_program
+from .resources import ResourceSummary, analyze_resources
 from .summaries import BUILTIN_SUMMARIES, FunctionSummary
 
 __all__ = [
     "BUILTIN_SUMMARIES",
+    "ControlFlowGraph",
     "EntropyTag",
     "FunctionSummary",
     "OrderTag",
     "ParamTag",
     "ProgramAnalysis",
     "RawFinding",
+    "ResourceSummary",
     "RngTag",
     "UnorderedTag",
     "Value",
     "analyze_function",
     "analyze_program",
+    "analyze_resources",
+    "build_cfg",
 ]

@@ -66,7 +66,13 @@ def _callee_names(
             if len(parts) == 2 and parts[1] in cls.methods:
                 callees.add(f"{cls.qualname}.{parts[1]}")
             continue
-        canonical = module.ctx.resolve(raw)
+        head = raw.split(".")[0]
+        if head in module.functions or head in module.classes:
+            # Bare same-module reference (``helper(...)``): the import
+            # table can't qualify it, but the defining module can.
+            canonical = f"{module.module_name}.{raw}"
+        else:
+            canonical = module.ctx.resolve(raw)
         resolved = graph.resolve_function(canonical)
         if resolved is not None:
             callees.add(resolved[0])

@@ -25,6 +25,7 @@ from ..context import ModuleContext, dotted_name
 from .callgraph import build_call_graph
 from .intra import ENGINE_SINKS, RawFinding, analyze_function
 from .modules import ModuleGraph, ModuleInfo
+from .resources import ResourceSummary, analyze_resources
 from .summaries import FunctionSummary, builtin_summary, merge_summaries
 
 #: Upper bound on summary-fixpoint rounds.  The lattice is finite and
@@ -68,6 +69,8 @@ class ProgramAnalysis:
     summaries: Dict[str, FunctionSummary] = field(default_factory=dict)
     #: qualnames treated as cached engine kernels (RL604 scope).
     kernels: Tuple[str, ...] = ()
+    #: qualname → converged resource summary (RL7xx; tests/debugging).
+    resource_summaries: Dict[str, ResourceSummary] = field(default_factory=dict)
 
     def findings_for(
         self, path: str, code: Optional[str] = None
@@ -165,6 +168,13 @@ def analyze_program(
         if entry is not None and entry[1]:
             per_path.setdefault(entry[0].path, []).extend(entry[1])
 
+    # Second engine over the same module/call graphs: the RL7xx
+    # resource-lifecycle pass (its own CFG-based interpreter and summary
+    # worklist; see .resources).
+    resource_findings, resource_summaries = analyze_resources(graph, call_graph)
+    for path, hits in resource_findings.items():
+        per_path.setdefault(path, []).extend(hits)
+
     findings = {
         path: tuple(
             sorted(set(hits), key=lambda f: (f.line, f.col, f.code, f.message))
@@ -175,4 +185,5 @@ def analyze_program(
         findings=findings,
         summaries=summaries,
         kernels=tuple(sorted(kernels)),
+        resource_summaries=resource_summaries,
     )

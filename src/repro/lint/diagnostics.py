@@ -9,7 +9,11 @@ the order rules ran in, and they render in the conventional
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Mapping, Sequence
+
+#: SARIF version emitted by ``--format sarif`` (and its schema URI).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 def _escape_data(text: str) -> str:
@@ -72,3 +76,58 @@ class Diagnostic:
             "code": self.code,
             "message": self.message,
         }
+
+    def to_sarif_result(self) -> Dict[str, Any]:
+        """One SARIF ``result`` object (columns are 1-based in SARIF)."""
+        return {
+            "ruleId": self.code,
+            "level": "error",
+            "message": {"text": self.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": self.path.replace("\\", "/")
+                        },
+                        "region": {
+                            "startLine": self.line,
+                            "startColumn": self.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+
+
+def sarif_document(
+    diagnostics: Sequence[Diagnostic],
+    rule_summaries: Mapping[str, str],
+) -> Dict[str, Any]:
+    """A SARIF 2.1.0 document for ``--format sarif``.
+
+    The driver's rule table lists every known rule (sorted by code) so
+    viewers can show metadata even for codes with no results this run;
+    ``rule_summaries`` maps code → one-line summary.
+    """
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": rule_summaries[code]},
+        }
+        for code in sorted(rule_summaries)
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "rules": rules,
+                    }
+                },
+                "results": [d.to_sarif_result() for d in diagnostics],
+            }
+        ],
+    }

@@ -6,6 +6,7 @@ from . import (
     engine_bypass,
     engine_perf,
     purity,
+    resources,
     rng,
     streams,
     wallclock,
@@ -17,6 +18,7 @@ __all__ = [
     "engine_bypass",
     "engine_perf",
     "purity",
+    "resources",
     "rng",
     "streams",
     "wallclock",

@@ -9,12 +9,19 @@ Python loop).  Every production kernel batches its trial axis with
 NumPy: one upfront sample matrix, offset bincounts, row-wise statistics.
 
 The rule flags trial-indexed loops (statement loops and comprehensions
-alike) inside functions named ``accept_block`` — or ending with
-``accept_block``, which catches the reference oracles of
-:mod:`repro.core.oracles`; those per-trial transcriptions are the
-sanctioned exception and carry explicit pragmas.  Fallback loops over
-third-party objects that expose no batch API are likewise allowed via
-pragma with a justification.
+alike) inside batch kernels, recognised three ways:
+
+* functions named ``accept_block`` or ``l1_errors_block`` — or ending
+  with either, which catches the reference oracles of
+  :mod:`repro.core.oracles`; those per-trial transcriptions are the
+  sanctioned exception and carry explicit pragmas;
+* any ``*_block`` method of a class that implements the
+  :class:`~repro.engine.kernels.AcceptKernel` protocol (defines both
+  ``accept_block`` and ``cache_token``) — such classes are registered
+  with the engine, so every block method on them is hot-path.
+
+Fallback loops over third-party objects that expose no batch API are
+likewise allowed via pragma with a justification.
 """
 
 from __future__ import annotations
@@ -30,20 +37,50 @@ from .engine_bypass import _is_trial_range
 ComprehensionNode = Union[ast.GeneratorExp, ast.ListComp, ast.SetComp]
 
 
+#: Names (and name suffixes) that mark a function as a batch kernel
+#: wherever it is defined.
+KERNEL_BLOCK_NAMES = ("accept_block", "l1_errors_block")
+
+
 def _is_kernel_function(name: str) -> bool:
-    """Whether ``name`` is an accept_block kernel (or a named variant)."""
-    return name == "accept_block" or name.endswith("accept_block")
+    """Whether ``name`` is a batch-kernel entry point (or named variant)."""
+    return any(name == base or name.endswith(base) for base in KERNEL_BLOCK_NAMES)
+
+
+def _is_accept_kernel_class(node: ast.ClassDef) -> bool:
+    """Whether ``node`` implements the AcceptKernel protocol shape.
+
+    The protocol is structural (``typing.Protocol``), so we mirror the
+    engine's duck check: a class that defines both ``accept_block`` and
+    ``cache_token`` is registrable with ``estimate_acceptance`` and all
+    its ``*_block`` methods are hot-path.
+    """
+    defined = {
+        stmt.name
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    return "accept_block" in defined and "cache_token" in defined
 
 
 class _KernelLoopCollector(ast.NodeVisitor):
-    """Collect per-trial loops inside accept_block-named functions."""
+    """Collect per-trial loops inside batch-kernel functions."""
 
     def __init__(self) -> None:
         self.offenders: List[ast.AST] = []
         self._kernel_depth = 0
+        self._kernel_class_depth = 0
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        inside = _is_accept_kernel_class(node)
+        self._kernel_class_depth += inside
+        self.generic_visit(node)
+        self._kernel_class_depth -= inside
 
     def _visit_function(self, node: ast.AST, name: str) -> None:
-        inside = _is_kernel_function(name)
+        inside = _is_kernel_function(name) or (
+            self._kernel_class_depth > 0 and name.endswith("_block")
+        )
         self._kernel_depth += inside
         self.generic_visit(node)
         self._kernel_depth -= inside
@@ -77,14 +114,15 @@ class EnginePerf(Rule):
 
     code = "RL303"
     name = "engine-perf"
-    summary = "per-trial Python loop inside an accept_block kernel"
+    summary = "per-trial Python loop inside a batch kernel"
     rationale = (
-        "accept_block is the engine's hot path; a Python loop over trials "
-        "costs one interpreter round-trip per trial and defeats the "
-        "parallel backends' dispatch amortisation.  Batch the trial axis "
-        "with NumPy (sample matrices, offset bincounts, row-wise "
-        "statistics); per-trial fallbacks for third-party objects with no "
-        "batch API need an explicit pragma."
+        "accept_block, l1_errors_block, and the *_block methods of "
+        "AcceptKernel-protocol classes are the engine's hot path; a "
+        "Python loop over trials costs one interpreter round-trip per "
+        "trial and defeats the parallel backends' dispatch amortisation.  "
+        "Batch the trial axis with NumPy (sample matrices, offset "
+        "bincounts, row-wise statistics); per-trial fallbacks for "
+        "third-party objects with no batch API need an explicit pragma."
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
@@ -94,6 +132,6 @@ class EnginePerf(Rule):
             yield self.diag(
                 ctx,
                 node,
-                "per-trial loop in accept_block; vectorize the trial axis "
+                "per-trial loop in a batch kernel; vectorize the trial axis "
                 "(or pragma a justified third-party fallback)",
             )

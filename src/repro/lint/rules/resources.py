@@ -1,0 +1,83 @@
+"""Resource-lifecycle and fork-safety rules (RL701–RL704).
+
+Like the RL6xx family these replay findings computed by the
+whole-program dataflow analysis — here the CFG-based resource pass in
+:mod:`repro.lint.dataflow.resources` — through the ordinary diagnostic
+pipeline, so pragmas, ``--select``/``--ignore`` and output formats all
+behave identically to syntactic rules.
+"""
+
+from __future__ import annotations
+
+from ..registry import register_rule
+from .streams import _DataflowRule
+
+
+@register_rule
+class ResourceNotReleased(_DataflowRule):
+    """A resource some path drops while it is still live."""
+
+    code = "RL701"
+    name = "resource-not-released"
+    summary = "resource not released on every path (exception paths included)"
+    rationale = (
+        "A shared-memory segment, pool, or file handle that is not "
+        "released on *every* path — the paths an exception takes "
+        "included — outlives the function that owns it: segments linger "
+        "in /dev/shm until the resource tracker complains, pools keep "
+        "worker processes alive, and file descriptors accumulate across "
+        "a sweep.  Release in a finally block, use a with block, or "
+        "hand ownership to a caller explicitly."
+    )
+
+
+@register_rule
+class DoubleRelease(_DataflowRule):
+    """Definite double-close or use-after-release."""
+
+    code = "RL702"
+    name = "double-release"
+    summary = "resource released twice, or used after close()/unlink()"
+    rationale = (
+        "Closing a resource every path already closed, or touching a "
+        "segment after unlink(), is latent-crash territory: shared "
+        "memory raises once the mapping is gone, executors raise on "
+        "submit-after-shutdown, and double unlinks can evict a "
+        "*different* process's registration under the shared resource "
+        "tracker.  The analysis only fires when every path agrees the "
+        "resource was already released, so a hit is a real ordering bug."
+    )
+
+
+@register_rule
+class ForkUnsafeState(_DataflowRule):
+    """Live threads, held locks, or open handles at a fork site."""
+
+    code = "RL703"
+    name = "fork-unsafe-state"
+    summary = "fork/pool-spawn while a thread, lock, or OS handle is live"
+    rationale = (
+        "fork() clones exactly one thread but the whole address space: "
+        "a lock held at fork time stays locked forever in the child, a "
+        "running thread simply vanishes mid-critical-section, and "
+        "inherited file/segment descriptors alias the parent's offsets. "
+        "The shm backend deliberately forks *early*, before per-estimate "
+        "state exists — spawn pools before acquiring per-task resources."
+    )
+
+
+@register_rule
+class GlobalResourceWithoutTeardown(_DataflowRule):
+    """A warm resource cached in a module global with no teardown hook."""
+
+    code = "RL704"
+    name = "global-resource-without-teardown"
+    summary = "module-global resource cache with no registered teardown hook"
+    rationale = (
+        "Warm pools and segments cached in module globals outlive every "
+        "function scope, so nothing releases them unless interpreter "
+        "exit is wired to: without an atexit hook the resource tracker "
+        "reports leaked shared_memory objects and pool workers are "
+        "reaped by the OS instead of shut down.  Register a module-level "
+        "atexit.register(<close-all>) next to the cache."
+    )

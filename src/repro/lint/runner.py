@@ -157,33 +157,16 @@ def _lint_worker(item: Tuple[str, str]) -> List[Diagnostic]:
     )
 
 
-def lint_paths(
-    paths: Sequence[str],
-    select: Optional[Sequence[str]] = None,
-    ignore: Optional[Sequence[str]] = None,
-    jobs: int = 1,
+def _evaluate(
+    files: Sequence[Tuple[str, str]],
+    rules: Sequence[Rule],
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+    jobs: int,
+    contexts: Dict[str, ModuleContext],
+    program: Optional[object],
 ) -> List[Diagnostic]:
-    """Lint every ``.py`` file under ``paths``; returns sorted diagnostics.
-
-    ``jobs > 1`` fans per-file rule evaluation out to that many worker
-    processes; the result is byte-identical to ``jobs == 1`` (the final
-    global sort makes ordering independent of completion order).
-    """
-    if jobs < 1:
-        raise LintUsageError(f"--jobs must be >= 1, got {jobs}")
-    try:
-        rules = active_rules(select=select, ignore=ignore)
-    except ValueError as error:
-        raise LintUsageError(str(error)) from error
-    files = _read_files(paths)
-    contexts: Dict[str, ModuleContext] = {}
-    for filename, source in files:
-        try:
-            contexts[filename] = ModuleContext(source, filename)
-        except SyntaxError:
-            pass  # lint_source re-parses and emits RL001
-    program = _build_program(rules, files, contexts)
-
+    """Per-file rule evaluation, serial or fanned out across workers."""
     findings: List[Diagnostic] = []
     if jobs == 1 or len(files) <= 1:
         for filename, source in files:
@@ -213,3 +196,144 @@ def lint_paths(
     finally:
         _PARENT_CONTEXTS.clear()
     return sorted(findings)
+
+
+def _lint_incremental(
+    files: Sequence[Tuple[str, str]],
+    rules: Sequence[Rule],
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+    jobs: int,
+    cache_dir: str,
+    stats: Optional[object],
+) -> List[Diagnostic]:
+    """Cache-aware lint: replay clean files, re-lint the dirty closure.
+
+    Byte-parity with the cold path rests on the cache module's model:
+    a file's diagnostics depend only on its own source, its transitive
+    import closure, and the rule set — all captured in the fingerprints
+    and the ``rules_key``.  See :mod:`repro.lint.cache` for the
+    degradation rules when that model does not hold.
+    """
+    from .cache import LintCache, fingerprint, plan_incremental, rules_cache_key
+    from .dataflow.modules import module_name_from_path
+
+    cache = LintCache(cache_dir, rules_cache_key(rules))
+    source_of = dict(files)
+    hashes = {path: fingerprint(source) for path, source in files}
+
+    # Parse only files whose fingerprint moved; unchanged files reuse
+    # the module name and import list recorded at their last lint
+    # (same content ⇒ same parse).
+    contexts: Dict[str, ModuleContext] = {}
+    modules: Dict[str, Optional[str]] = {}
+    imports: Dict[str, Sequence[str]] = {}
+    for path, source in files:
+        entry = cache.entry(path)
+        if entry is not None and entry.get("hash") == hashes[path]:
+            modules[path] = entry.get("module")
+            imports[path] = entry.get("imports", ())
+            continue
+        try:
+            ctx = ModuleContext(source, path)
+        except SyntaxError:
+            modules[path] = None
+            imports[path] = ()
+            continue
+        contexts[path] = ctx
+        modules[path] = module_name_from_path(ctx.module_path)
+        imports[path] = sorted(set(ctx.aliases.values()))
+
+    plan = plan_incremental(cache, hashes, modules, imports)
+
+    # Clean dependencies of dirty files still feed the program analysis.
+    for path in sorted(plan.analysis_paths):
+        if path not in contexts:
+            try:
+                contexts[path] = ModuleContext(source_of[path], path)
+            except SyntaxError:
+                pass
+    analysis_files = [item for item in files if item[0] in plan.analysis_paths]
+    program = _build_program(rules, analysis_files, contexts)
+    plan.stats.analyzed = len(analysis_files) if program is not None else 0
+
+    dirty_files = [item for item in files if item[0] in plan.dirty]
+    findings = _evaluate(
+        dirty_files, rules, select, ignore, jobs, contexts, program
+    )
+
+    fresh_by_path: Dict[str, List[Diagnostic]] = {
+        path: [] for path, _ in dirty_files
+    }
+    for diagnostic in findings:
+        fresh_by_path[diagnostic.path].append(diagnostic)
+    for path, _ in files:
+        if path in plan.dirty:
+            cache.store(
+                path,
+                hashes[path],
+                modules[path],
+                imports[path],
+                fresh_by_path[path],
+            )
+        else:
+            plan.stats.hits += 1
+            findings.extend(cache.cached_diagnostics(path))
+    cache.prune([path for path, _ in files])
+    cache.save()
+
+    if stats is not None:
+        for name in (
+            "files_total",
+            "hits",
+            "misses",
+            "changed",
+            "dep_dirty",
+            "analyzed",
+            "degraded",
+        ):
+            setattr(stats, name, getattr(plan.stats, name))
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    stats: Optional[object] = None,
+) -> List[Diagnostic]:
+    """Lint every ``.py`` file under ``paths``; returns sorted diagnostics.
+
+    ``jobs > 1`` fans per-file rule evaluation out to that many worker
+    processes; the result is byte-identical to ``jobs == 1`` (the final
+    global sort makes ordering independent of completion order).
+
+    ``cache_dir`` opts into the incremental cache: unchanged files whose
+    transitive import closure is also unchanged replay their recorded
+    diagnostics, everything else is re-linted and re-stored.  ``stats``,
+    when given a :class:`repro.lint.cache.CacheStats`, receives the
+    hit/miss counters.
+    """
+    if jobs < 1:
+        raise LintUsageError(f"--jobs must be >= 1, got {jobs}")
+    try:
+        rules = active_rules(select=select, ignore=ignore)
+    except ValueError as error:
+        raise LintUsageError(str(error)) from error
+    files = _read_files(paths)
+
+    if cache_dir is not None:
+        return _lint_incremental(
+            files, rules, select, ignore, jobs, cache_dir, stats
+        )
+
+    contexts: Dict[str, ModuleContext] = {}
+    for filename, source in files:
+        try:
+            contexts[filename] = ModuleContext(source, filename)
+        except SyntaxError:
+            pass  # lint_source re-parses and emits RL001
+    program = _build_program(rules, files, contexts)
+    return _evaluate(files, rules, select, ignore, jobs, contexts, program)

@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+import textwrap
+
 import pytest
 
 from repro.engine import (
@@ -14,6 +19,10 @@ from repro.engine import (
 )
 from repro.engine.backend import ExecutionBackend
 from repro.exceptions import InvalidParameterError
+
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
 
 
 def _square(x):
@@ -191,3 +200,46 @@ class TestMakeBackend:
 
     def test_backend_kinds_constant(self):
         assert BACKEND_KINDS == ("serial", "process", "shm")
+
+
+class TestWarmPoolAtexitTeardown:
+    """Interpreter exit must not leak warm shm segments (RL704 fix)."""
+
+    def test_exit_with_warm_shm_backend_leaves_no_tracker_warnings(self):
+        """A subprocess that uses a warm SharedMemoryBackend and exits
+        without closing it must trigger the atexit hook: clean exit, no
+        ``resource_tracker`` leak warnings on stderr."""
+        script = textwrap.dedent(
+            """
+            from repro.distributions.discrete import uniform
+            from repro.engine import (
+                BernoulliKernel,
+                engine_context,
+                estimate_acceptance,
+                make_backend,
+            )
+
+            backend = make_backend(2, kind="shm")
+            with engine_context(backend=backend):
+                result = estimate_acceptance(
+                    BernoulliKernel(0.7), uniform(8), trials=256, rng=7
+                )
+            assert result.trials_used == 256
+            print("RAN", result.successes)
+            # Deliberately no backend.close()/close_warm_backends():
+            # the registered atexit hook owns warm-pool teardown.
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src")
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.startswith("RAN")
+        assert "resource_tracker" not in result.stderr, result.stderr
+        assert "leaked" not in result.stderr, result.stderr

@@ -27,3 +27,35 @@ def trial_loop_outside_kernel(results, trials):
     for index in range(trials):
         rates.append(results[index])
     return rates
+
+
+class BatchedLearner:
+    def l1_errors_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, 8, rng)
+        return np.abs(samples.mean(axis=1) - 0.5)
+
+
+class NotAKernelClass:
+    """No cache_token: the *_block method is not engine-registrable."""
+
+    def scores_block(self, results, trials):
+        return [results[index] for index in range(trials)]
+
+
+class ProtocolKernelPlayerLoop:
+    """AcceptKernel shape whose helper loops over players, not trials."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "players"}
+
+    def accept_block(self, distribution, trials, rng):
+        return self.totals_block(distribution, trials, rng) > 0
+
+    def totals_block(self, distribution, trials, rng):
+        totals = np.zeros(trials, dtype=np.int64)
+        for player in self.players:
+            totals += distribution.sample_matrix(
+                trials, player.width, rng
+            ).sum(axis=1)
+        return totals

@@ -32,3 +32,29 @@ def suppressed_accept_block(tester, distribution, trials, rng):
     for index in range(trials):  # repro-lint: disable=RL303 reference oracle
         accepts[index] = tester.statistic(distribution, rng) > 0
     return accepts
+
+
+def l1_errors_block(learner, distribution, trials, rng):
+    errors = np.empty(trials, dtype=np.float64)
+    for index in range(trials):  # expect: RL303
+        errors[index] = learner.learn(distribution, rng).l1_error
+    return errors
+
+
+class ProtocolKernelWithLoopedHelper:
+    """AcceptKernel shape: every *_block method on it is hot-path."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "example"}
+
+    def accept_block(self, distribution, trials, rng):
+        return self.scores_block(distribution, trials, rng) > 0
+
+    def scores_block(self, distribution, trials, rng):
+        return np.array(
+            [  # expect: RL303
+                distribution.sample_matrix(1, 4, rng).sum()
+                for _ in range(trials)
+            ]
+        )

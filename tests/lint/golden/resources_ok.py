@@ -1,0 +1,102 @@
+# lint-path: repro/io/resources_clean.py
+"""Golden fixture: resource lifecycles the RL7xx rules must accept."""
+import atexit
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+_WARM_POOLS = {}
+
+
+def read_with_block(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def read_try_finally(path):
+    handle = open(path)
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+def owned_segment_roundtrip(blob):
+    segment = SharedMemory(create=True, size=len(blob))
+    try:
+        segment.buf[: len(blob)] = blob
+        copied = bytes(segment.buf[: len(blob)])
+    finally:
+        segment.close()
+        segment.unlink()
+    return copied
+
+
+def attach_and_release(name, size):
+    segment = SharedMemory(name=name)
+    try:
+        return bytes(segment.buf[:size])
+    finally:
+        segment.close()
+
+
+def pool_with_block(tasks):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(len, tasks))
+
+
+def fork_before_acquiring(path):
+    pid = os.fork()
+    with open(path) as handle:
+        handle.read()
+    return pid
+
+
+def thread_joined_before_spawn(worker):
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    pool = ProcessPoolExecutor(max_workers=2)
+    pool.shutdown()
+
+
+def lock_released_before_fork(compute):
+    guard = threading.Lock()
+    with guard:
+        value = compute()
+    pid = os.fork()
+    return pid, value
+
+
+def ownership_handed_to_caller(path):
+    return open(path)
+
+
+def closed_by_helper(path):
+    handle = open(path)
+    _close_quietly(handle)
+
+
+def _close_quietly(handle):
+    try:
+        handle.close()
+    except OSError:
+        pass
+
+
+def warm_pool(width):
+    pool = _WARM_POOLS.get(width)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=width)
+        _WARM_POOLS[width] = pool
+    return pool
+
+
+def _close_warm_pools():
+    for pool in _WARM_POOLS.values():
+        pool.shutdown()
+    _WARM_POOLS.clear()
+
+
+atexit.register(_close_warm_pools)

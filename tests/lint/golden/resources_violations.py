@@ -1,0 +1,74 @@
+# lint-path: repro/io/resources_example.py
+"""Golden fixture: every RL7xx resource-lifecycle rule fires."""
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+_WARM_POOLS = {}
+
+
+def leak_on_every_path(path):
+    handle = open(path)  # expect: RL701
+    return handle.name
+
+
+def leak_on_exception_path(blob):
+    segment = SharedMemory(create=True, size=len(blob))  # expect: RL701
+    segment.buf[: len(blob)] = blob
+    publish_segment(segment)
+
+
+def leak_survives_neutral_helper(path):
+    handle = open(path)  # expect: RL701
+    return _describe(handle)
+
+
+def _describe(handle):
+    return handle.fileno()
+
+
+def double_close(path):
+    handle = open(path)
+    handle.close()
+    handle.close()  # expect: RL702
+
+
+def use_after_unlink():
+    segment = SharedMemory(create=True, size=16)
+    segment.close()
+    segment.unlink()
+    return bytes(segment.buf[:1])  # expect: RL702
+
+
+def fork_while_file_open(path):
+    handle = open(path)
+    try:
+        pid = os.fork()  # expect: RL703
+    finally:
+        handle.close()
+    return pid
+
+
+def spawn_while_thread_running(worker):
+    thread = threading.Thread(target=worker)
+    thread.start()
+    pool = ProcessPoolExecutor(max_workers=2)  # expect: RL703
+    pool.shutdown()
+    thread.join()
+
+
+def fork_while_lock_held(guard_factory):
+    guard = threading.Lock()
+    guard.acquire()
+    pid = os.fork()  # expect: RL703
+    guard.release()
+    return pid
+
+
+def warm_pool(width):
+    pool = _WARM_POOLS.get(width)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=width)
+        _WARM_POOLS[width] = pool  # expect: RL704
+    return pool

@@ -72,6 +72,7 @@ def test_every_rule_family_has_a_clean_fixture():
         "streams",
         "engine_bypass",
         "engine_perf",
+        "resources",
     )
     for family in families:
         assert any(name.startswith(family) for name in clean), family

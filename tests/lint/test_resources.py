@@ -1,0 +1,367 @@
+"""Unit tests for the RL7xx resource-lifecycle analysis.
+
+These exercise :func:`analyze_program` directly on small in-memory
+programs, checking both the findings and the converged
+:class:`ResourceSummary` records that the interprocedural layer exposes
+through :class:`ProgramAnalysis`.
+"""
+
+import textwrap
+
+from repro.lint.dataflow.program import analyze_program
+
+
+def _analyze(source, path="repro/io/example.py"):
+    return analyze_program([(path, textwrap.dedent(source))])
+
+
+def _codes(program, path="repro/io/example.py"):
+    return [(f.line, f.code) for f in program.findings_for(path)]
+
+
+# --------------------------------------------------------------------- #
+# RL701: not released on all paths                                      #
+# --------------------------------------------------------------------- #
+
+
+def test_rl701_fires_at_acquisition_site():
+    program = _analyze(
+        """
+        def leak(path):
+            handle = open(path)
+            return handle.fileno()
+        """
+    )
+    assert _codes(program) == [(3, "RL701")]
+
+
+def test_rl701_exception_path_only():
+    # The happy path closes; only the exception edge leaks.
+    program = _analyze(
+        """
+        def risky(path, blob):
+            handle = open(path)
+            handle.write(blob)
+            handle.close()
+        """
+    )
+    assert _codes(program) == [(3, "RL701")]
+
+
+def test_rl701_silent_when_release_guarded_by_finally():
+    program = _analyze(
+        """
+        def safe(path, blob):
+            handle = open(path)
+            try:
+                handle.write(blob)
+            finally:
+                handle.close()
+        """
+    )
+    assert _codes(program) == []
+
+
+def test_rl701_silent_when_catch_all_cleans_up():
+    program = _analyze(
+        """
+        def safe(path, blob):
+            handle = open(path)
+            try:
+                handle.write(blob)
+            except BaseException:
+                handle.close()
+                raise
+            handle.close()
+        """
+    )
+    assert _codes(program) == []
+
+
+def test_rl701_conditional_close_still_leaks():
+    program = _analyze(
+        """
+        def maybe(path, flag):
+            handle = open(path)
+            if flag:
+                handle.close()
+        """
+    )
+    assert _codes(program) == [(3, "RL701")]
+
+
+def test_rl701_escape_via_container_transfers_ownership():
+    program = _analyze(
+        """
+        def stash(path, sink):
+            handle = open(path)
+            sink.append(handle)
+        """
+    )
+    assert _codes(program) == []
+
+
+def test_rl701_escape_via_unknown_call_transfers_ownership():
+    program = _analyze(
+        """
+        def handoff(path, consumer):
+            handle = open(path)
+            consumer(handle)
+        """
+    )
+    assert _codes(program) == []
+
+
+# --------------------------------------------------------------------- #
+# RL702: double release / use after unlink                              #
+# --------------------------------------------------------------------- #
+
+
+def test_rl702_double_close_must_analysis():
+    program = _analyze(
+        """
+        def twice(path):
+            handle = open(path)
+            handle.close()
+            handle.close()
+        """
+    )
+    assert _codes(program) == [(5, "RL702")]
+
+
+def test_rl702_silent_when_close_only_on_one_branch():
+    # May-closed is not must-closed: no RL702.
+    program = _analyze(
+        """
+        def maybe_twice(path, flag):
+            handle = open(path)
+            try:
+                if flag:
+                    handle.close()
+            finally:
+                handle.close()
+        """
+    )
+    assert _codes(program) == []
+
+
+def test_rl702_close_then_unlink_is_legal_for_shm():
+    program = _analyze(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def roundtrip():
+            segment = SharedMemory(create=True, size=16)
+            try:
+                return bytes(segment.buf[:1])
+            finally:
+                segment.close()
+                segment.unlink()
+        """
+    )
+    assert _codes(program) == []
+
+
+def test_rl702_use_after_close():
+    program = _analyze(
+        """
+        def stale(path):
+            handle = open(path)
+            handle.close()
+            return handle.read()
+        """
+    )
+    assert _codes(program) == [(5, "RL702")]
+
+
+# --------------------------------------------------------------------- #
+# RL703: fork safety                                                    #
+# --------------------------------------------------------------------- #
+
+
+def test_rl703_fork_with_open_handle():
+    program = _analyze(
+        """
+        import os
+
+        def bad(path):
+            handle = open(path)
+            try:
+                pid = os.fork()
+            finally:
+                handle.close()
+            return pid
+        """
+    )
+    assert _codes(program) == [(7, "RL703")]
+
+
+def test_rl703_clean_when_fork_precedes_acquisition():
+    program = _analyze(
+        """
+        import os
+
+        def fine(path):
+            pid = os.fork()
+            with open(path) as handle:
+                handle.read()
+            return pid
+        """
+    )
+    assert _codes(program) == []
+
+
+def test_rl703_thread_pool_spawn_is_exempt():
+    # ThreadPoolExecutor does not fork; holding resources is fine.
+    program = _analyze(
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        def fine(path):
+            with open(path) as handle:
+                with ThreadPoolExecutor(max_workers=2) as pool:
+                    pool.map(len, ["x"])
+                handle.read()
+        """
+    )
+    assert _codes(program) == []
+
+
+# --------------------------------------------------------------------- #
+# interprocedural summaries                                             #
+# --------------------------------------------------------------------- #
+
+
+def test_helper_close_summary_discharges_obligation():
+    program = _analyze(
+        """
+        def caller(path):
+            handle = open(path)
+            shut(handle)
+
+        def shut(handle):
+            handle.close()
+        """
+    )
+    assert _codes(program) == []
+    summary = program.resource_summaries["repro.io.example.shut"]
+    assert "handle" in summary.closes
+
+
+def test_neutral_helper_keeps_obligation_alive():
+    program = _analyze(
+        """
+        def caller(path):
+            handle = open(path)
+            describe(handle)
+
+        def describe(handle):
+            return handle.fileno()
+        """
+    )
+    assert _codes(program) == [(3, "RL701")]
+    summary = program.resource_summaries["repro.io.example.describe"]
+    assert summary.closes == frozenset()
+    assert summary.escapes == frozenset()
+
+
+def test_factory_summary_propagates_resource_kind():
+    program = _analyze(
+        """
+        def make(path):
+            return open(path)
+
+        def leaker(path):
+            handle = make(path)
+            return handle.fileno()
+        """
+    )
+    # The factory itself is clean (ownership returned), but the caller
+    # adopts the obligation and leaks.
+    assert _codes(program) == [(6, "RL701")]
+    summary = program.resource_summaries["repro.io.example.make"]
+    assert summary.returns_kind == "file"
+
+
+def test_escaping_helper_transfers_ownership():
+    program = _analyze(
+        """
+        _SINK = []
+
+        def caller(path):
+            handle = open(path)
+            stash(handle)
+
+        def stash(handle):
+            _SINK.append(handle)
+        """
+    )
+    assert _codes(program) == []
+    summary = program.resource_summaries["repro.io.example.stash"]
+    assert "handle" in summary.escapes
+
+
+def test_rl704_needs_module_container_and_no_teardown():
+    leaky = _analyze(
+        """
+        _CACHE = {}
+
+        def warm(width, factory):
+            pool = factory(width)
+            _CACHE[width] = pool
+            return pool
+        """
+    )
+    assert _codes(leaky) == []  # plain values are fine; needs a resource
+
+    leaky_pool = _analyze(
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        _CACHE = {}
+
+        def warm(width):
+            pool = ProcessPoolExecutor(max_workers=width)
+            _CACHE[width] = pool
+            return pool
+        """
+    )
+    assert _codes(leaky_pool) == [(8, "RL704")]
+
+    guarded = _analyze(
+        """
+        import atexit
+        from concurrent.futures import ProcessPoolExecutor
+
+        _CACHE = {}
+
+        def warm(width):
+            pool = ProcessPoolExecutor(max_workers=width)
+            _CACHE[width] = pool
+            return pool
+
+        def _shutdown():
+            for pool in _CACHE.values():
+                pool.shutdown()
+
+        atexit.register(_shutdown)
+        """
+    )
+    assert _codes(guarded) == []
+
+
+def test_findings_are_deterministic_across_runs():
+    source = """
+        import os
+
+        def bad(path):
+            handle = open(path)
+            pid = os.fork()
+            return pid
+
+        def worse(path):
+            first = open(path)
+            second = open(path)
+            first.close()
+        """
+    assert _codes(_analyze(source)) == _codes(_analyze(source))

@@ -1,0 +1,197 @@
+"""``--format sarif``: golden-file parity and SARIF 2.1.0 schema checks.
+
+The golden file pins the exact document ``python -m repro.lint --format
+sarif`` emits for a fixed fixture/select combination, so any drift in
+the driver rule table, result shape, or serialisation is a visible diff.
+The schema test validates both the golden file and a live run against a
+structural subset of the SARIF 2.1.0 schema (the full schemastore
+document is network-hosted; the subset pins every field we emit).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import jsonschema
+import pytest
+
+from repro.lint.cli import EXIT_VIOLATIONS
+from repro.lint.diagnostics import SARIF_SCHEMA_URI, SARIF_VERSION
+from repro.lint.registry import rule_classes
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+GOLDEN_SARIF = os.path.join(os.path.dirname(__file__), "golden", "expected.sarif")
+
+#: The CLI invocation the golden file was generated with (repo-relative
+#: fixture path keeps the artifact URIs machine-independent).
+GOLDEN_ARGS = [
+    "tests/lint/golden/rng_violations.py",
+    "--select",
+    "RL101,RL102",
+    "--format",
+    "sarif",
+    "--no-cache",
+]
+
+#: Structural subset of the SARIF 2.1.0 schema covering every field
+#: ``sarif_document`` emits.  ``additionalProperties`` stays permissive
+#: so new optional fields don't break validation, but required fields,
+#: types, and 1-based region coordinates are pinned.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "$schema": {"const": SARIF_SCHEMA_URI},
+        "version": {"const": SARIF_VERSION},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {
+                                                    "type": "string",
+                                                    "pattern": r"^RL\d{3}$",
+                                                },
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "level", "message", "locations"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {"enum": ["error", "warning", "note"]},
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation",
+                                                    "region",
+                                                ],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "required": ["startLine"],
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _run_sarif_cli():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *GOLDEN_ARGS],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def cli_result():
+    return _run_sarif_cli()
+
+
+def test_sarif_output_matches_golden_file(cli_result):
+    """Byte parity with the checked-in document (regenerate by re-running
+    the GOLDEN_ARGS invocation if the rule catalog legitimately grew)."""
+    with open(GOLDEN_SARIF, encoding="utf-8") as handle:
+        expected = handle.read()
+    assert cli_result.returncode == EXIT_VIOLATIONS
+    assert cli_result.stdout == expected
+
+
+def test_golden_sarif_validates_against_schema():
+    with open(GOLDEN_SARIF, encoding="utf-8") as handle:
+        document = json.load(handle)
+    jsonschema.validate(document, SARIF_SUBSET_SCHEMA)
+
+
+def test_live_sarif_validates_against_schema(cli_result):
+    jsonschema.validate(json.loads(cli_result.stdout), SARIF_SUBSET_SCHEMA)
+
+
+def test_sarif_rule_table_covers_every_registered_rule():
+    """Code-scanning viewers resolve ruleId against the driver table, so
+    every registered rule must appear even with no results this run."""
+    with open(GOLDEN_SARIF, encoding="utf-8") as handle:
+        document = json.load(handle)
+    listed = {rule["id"] for rule in document["runs"][0]["tool"]["driver"]["rules"]}
+    registered = {rule_class.code for rule_class in rule_classes()}
+    assert listed == registered
+
+
+def test_sarif_results_reference_listed_rules(cli_result):
+    document = json.loads(cli_result.stdout)
+    run = document["runs"][0]
+    listed = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    emitted = {result["ruleId"] for result in run["results"]}
+    assert emitted == {"RL101", "RL102"}
+    assert emitted <= listed
