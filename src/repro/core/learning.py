@@ -337,9 +337,11 @@ class LearningSuccessKernel:
 
     @property
     def elements_per_trial(self) -> int:
+        # k*q samples plus k dithered thresholds per run (see
+        # FrequencyDitheringLearner.l1_errors_block).
         k = int(getattr(self.learner, "k", 1))
         q = int(getattr(self.learner, "q", 1))
-        return max(1, k * q)
+        return max(1, k * (q + 1))
 
     def accept_block(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None

@@ -627,6 +627,12 @@ class SimulationTester(UniformityTester):
         return (collected_counts < 2) | (pair_counts <= thresholds)
 
     @property
+    def elements_per_trial(self) -> int:
+        # One sample plus one public-coin guess per player; the
+        # resources fallback (k samples) would under-count the guesses.
+        return 2 * self.k
+
+    @property
     def resources(self) -> TesterResources:
         return TesterResources(
             num_players=self.k, samples_per_player=1, message_bits=1

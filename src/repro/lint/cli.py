@@ -115,7 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _print_rule_catalog() -> None:
     for rule_class in rule_classes():
-        print(f"{rule_class.code}  {rule_class.name}: {rule_class.summary}")
+        print(
+            f"{rule_class.code}  {rule_class.name} "
+            f"[{rule_class.default_severity}]: {rule_class.summary}"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -156,7 +159,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             rule_class.code: rule_class.summary
             for rule_class in rule_classes()
         }
-        print(json.dumps(sarif_document(diagnostics, summaries), indent=2))
+        severities = {
+            rule_class.code: rule_class.default_severity
+            for rule_class in rule_classes()
+        }
+        print(
+            json.dumps(
+                sarif_document(diagnostics, summaries, severities), indent=2
+            )
+        )
     elif args.format == "github":
         for diagnostic in diagnostics:
             print(diagnostic.format_github())

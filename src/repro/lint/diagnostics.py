@@ -9,7 +9,7 @@ the order rules ran in, and they render in the conventional
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 #: SARIF version emitted by ``--format sarif`` (and its schema URI).
 SARIF_VERSION = "2.1.0"
@@ -102,20 +102,26 @@ class Diagnostic:
 def sarif_document(
     diagnostics: Sequence[Diagnostic],
     rule_summaries: Mapping[str, str],
+    rule_severities: Optional[Mapping[str, str]] = None,
 ) -> Dict[str, Any]:
     """A SARIF 2.1.0 document for ``--format sarif``.
 
     The driver's rule table lists every known rule (sorted by code) so
     viewers can show metadata even for codes with no results this run;
-    ``rule_summaries`` maps code → one-line summary.
+    ``rule_summaries`` maps code → one-line summary and
+    ``rule_severities`` (optional) maps code → default SARIF level.
     """
-    rules = [
-        {
+    rules: List[Dict[str, Any]] = []
+    for code in sorted(rule_summaries):
+        entry: Dict[str, Any] = {
             "id": code,
             "shortDescription": {"text": rule_summaries[code]},
         }
-        for code in sorted(rule_summaries)
-    ]
+        if rule_severities and code in rule_severities:
+            entry["defaultConfiguration"] = {
+                "level": rule_severities[code]
+            }
+        rules.append(entry)
     return {
         "$schema": SARIF_SCHEMA_URI,
         "version": SARIF_VERSION,

@@ -39,6 +39,10 @@ class Rule(ABC):
     name: str = ""
     #: One-line description of what the rule flags.
     summary: str = ""
+    #: Default severity shown in ``--list-rules`` and SARIF
+    #: ``defaultConfiguration`` ("error" or "warning"); advisory only —
+    #: it never changes the exit code.
+    default_severity: str = "error"
     #: Why violating the rule breaks the determinism/cache/citation contract.
     rationale: str = ""
     #: Whether the rule consumes whole-program dataflow results

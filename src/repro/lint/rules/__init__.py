@@ -8,6 +8,7 @@ from . import (
     purity,
     resources,
     rng,
+    shapes,
     streams,
     wallclock,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "purity",
     "resources",
     "rng",
+    "shapes",
     "streams",
     "wallclock",
 ]

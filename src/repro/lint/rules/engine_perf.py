@@ -115,6 +115,9 @@ class EnginePerf(Rule):
     code = "RL303"
     name = "engine-perf"
     summary = "per-trial Python loop inside a batch kernel"
+    # A slow-but-correct reference loop is a perf smell, not a
+    # correctness break — unlike every other family.
+    default_severity = "warning"
     rationale = (
         "accept_block, l1_errors_block, and the *_block methods of "
         "AcceptKernel-protocol classes are the engine's hot path; a "

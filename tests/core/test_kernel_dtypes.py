@@ -1,0 +1,84 @@
+"""Dtype-stability pins for kernel paths (the runtime face of RL802).
+
+Cached acceptance curves and cross-backend parity are asserted
+bit-for-bit, so every array a kernel builds must have an explicit,
+platform-independent dtype: int64 counts, float64 statistics, bool
+verdicts.  These tests pin the dtype of each kernel family's
+intermediate and output arrays so a stray ``astype(int)`` (32-bit on
+Windows/ILP32) or silent float promotion fails here before it fails as
+a cache mismatch on another machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.closeness import UniformityViaCloseness
+from repro.core.learning import LearningSuccessKernel
+from repro.core.players import collision_counts, unique_counts
+from repro.distributions.discrete import uniform
+
+N, EPS, K = 32, 0.5, 6
+TRIALS = 9
+
+
+def test_sample_and_sample_matrix_are_int64():
+    distribution = uniform(N)
+    assert distribution.sample(5, 3).dtype == np.int64
+    assert distribution.sample_matrix(4, 7, 3).dtype == np.int64
+
+
+def test_collision_and_unique_counts_are_int64():
+    samples = uniform(N).sample_matrix(TRIALS, 8, 1)
+    assert collision_counts(samples).dtype == np.int64
+    assert unique_counts(samples).dtype == np.int64
+
+
+def test_empirical_distance_statistics_are_float64():
+    tester = repro.EmpiricalDistanceTester(N, EPS)
+    statistics = tester._statistics(uniform(N), TRIALS, np.random.default_rng(0))
+    assert statistics.dtype == np.float64
+    assert statistics.shape == (TRIALS,)
+
+
+def test_l1_errors_blocks_are_float64():
+    for learner in (
+        repro.HitCountingLearner(N, K, 3),
+        repro.FrequencyDitheringLearner(N, K, 3),
+    ):
+        errors = learner.l1_errors_block(uniform(N), TRIALS, 5)
+        assert errors.dtype == np.float64
+        assert errors.shape == (TRIALS,)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: repro.CentralizedCollisionTester(N, EPS),
+        lambda: repro.PairwiseHashTester(N, EPS, K),
+        lambda: repro.SimulationTester(N, EPS, K),
+        lambda: repro.UniqueElementsTester(N, EPS),
+        lambda: repro.EmpiricalDistanceTester(N, EPS),
+        lambda: repro.MultibitThresholdTester(N, EPS, K),
+        lambda: UniformityViaCloseness(repro.ClosenessTester(N, EPS)),
+        lambda: LearningSuccessKernel(
+            repro.FrequencyDitheringLearner(N, K, 3), delta=2.0
+        ),
+    ],
+    ids=[
+        "centralized",
+        "pairwise-hash",
+        "simulation",
+        "unique-elements",
+        "empirical-distance",
+        "multibit",
+        "closeness-reduction",
+        "learning-success",
+    ],
+)
+def test_accept_block_verdicts_are_bool(make):
+    accepts = np.asarray(make().accept_block(uniform(N), TRIALS, 11))
+    assert accepts.dtype == np.bool_
+    assert accepts.shape == (TRIALS,)

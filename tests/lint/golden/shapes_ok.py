@@ -1,0 +1,117 @@
+# lint-path: repro/core/shapes_example_ok.py
+"""Golden fixture: sound kernels the RL8xx rules must not flag.
+
+Exercises both genuinely clean kernels and the ⊤-degradation cases
+(unknown shapes, loop-poisoned budgets, incomparable size symbols) that
+must pass silently rather than demand pragmas.
+"""
+import numpy as np
+
+
+class VectorVerdictKernel:
+    """The canonical contract: bool (trials,) with an exact budget."""
+
+    def __init__(self, width):
+        self.width = width
+
+    @property
+    def cache_token(self):
+        return {"width": self.width}
+
+    @property
+    def elements_per_trial(self):
+        return self.width + 1
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, self.width, rng)
+        thresholds = rng.random(trials)
+        return samples.mean(axis=1) < thresholds
+
+
+class OverDeclaredKernel:
+    """elements_per_trial is a footprint: over-declaration is fine."""
+
+    def __init__(self, width):
+        self.width = width
+
+    @property
+    def cache_token(self):
+        return {"width": self.width}
+
+    @property
+    def elements_per_trial(self):
+        return 4 * self.width
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, self.width, rng)
+        return samples.sum(axis=1).astype(np.int64) < trials
+
+
+class IncomparableBudgetKernel:
+    """Unrelated size symbols are incomparable: k may exceed g anyway."""
+
+    def __init__(self, k, groups):
+        self.k = k
+        self.groups = groups
+
+    @property
+    def cache_token(self):
+        return {"k": self.k, "groups": self.groups}
+
+    @property
+    def elements_per_trial(self):
+        return self.k
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, self.groups, rng)
+        return samples.any(axis=1)
+
+
+class LoopDegradedKernel:
+    """Draws inside a per-player loop poison the budget to ⊤, not a finding."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "loop"}
+
+    @property
+    def elements_per_trial(self):
+        return 1
+
+    def accept_block(self, distribution, trials, rng):
+        totals = np.zeros(trials, dtype=np.int64)
+        for player in self.players:
+            totals += distribution.sample_matrix(trials, 2, rng).sum(axis=1)
+        return totals > 0
+
+
+class OpaqueScoreKernel:
+    """An unknown helper shape degrades to ⊤ and passes RL801."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "opaque"}
+
+    def accept_block(self, distribution, trials, rng):
+        scores = self.scores_block(distribution, trials, rng)
+        return scores > 0
+
+    def scores_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, 3, rng)
+        counts = np.bincount(samples.ravel(), minlength=trials)
+        return counts[:trials]
+
+
+class AlignedBroadcastKernel:
+    """Explicit trial-axis alignment broadcasts soundly."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "aligned"}
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, 5, rng)
+        offsets = np.arange(trials, dtype=np.int64)[:, np.newaxis]
+        frequencies = (samples + offsets).astype(np.float64) / 5.0
+        gaps = np.abs(frequencies - 0.5)
+        return (gaps < 0.25).all(axis=1)

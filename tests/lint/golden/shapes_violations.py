@@ -1,0 +1,89 @@
+# lint-path: repro/core/shapes_example.py
+"""Golden fixture: every RL8xx kernel-contract rule fires."""
+import numpy as np
+
+
+class ScalarCollapseKernel:
+    """Missing axis= collapses the whole batch to one scalar verdict."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "scalar-collapse"}
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, 8, rng)
+        return (samples < 4).all()  # expect: RL801
+
+
+class MatrixReturnKernel:
+    """The per-trial axis was never reduced: (trials, k) escapes."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "matrix"}
+
+    def accept_block(self, distribution, trials, rng):
+        draws = rng.random((trials, 6))
+        return draws < 0.5  # expect: RL801
+
+
+class CountReturnKernel:
+    """Counts are not verdicts: the contract is boolean."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "count"}
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, 8, rng)
+        return (samples == 0).sum(axis=1)  # expect: RL801
+
+
+class PlatformDtypeKernel:
+    """np.int_/bare int change width across platforms; float == is noise."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "platform"}
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, 8, rng)
+        counts = samples.astype(np.int_)  # expect: RL802
+        hits = counts.astype(int)  # expect: RL802
+        uniforms = rng.random((trials, 8))
+        verdict = (uniforms == 0.5).any(axis=1)  # expect: RL802
+        return verdict & (hits.sum(axis=1) > 0)
+
+
+class UnderDeclaredKernel:
+    """The dithering draw of one element per trial was never declared."""
+
+    def __init__(self, width):
+        self.width = width
+
+    @property
+    def cache_token(self):
+        return {"width": self.width}
+
+    @property
+    def elements_per_trial(self):  # expect: RL803
+        return self.width
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, self.width, rng)
+        thresholds = rng.random(trials)
+        return samples.mean(axis=1) < thresholds
+
+
+class MisalignedKernel:
+    """Concrete trailing dims 3 vs 4 can never broadcast."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "misaligned"}
+
+    def accept_block(self, distribution, trials, rng):
+        left = rng.random((trials, 3))
+        right = rng.random((trials, 4))
+        gap = left - right  # expect: RL804
+        return gap.any(axis=1)

@@ -72,6 +72,13 @@ def test_list_rules_covers_every_code(capsys):
         assert code in out
 
 
+def test_list_rules_shows_default_severity(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "RL303  engine-perf [warning]:" in out
+    assert "RL801  block-return-shape [error]:" in out
+
+
 def _run_module(args):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")

@@ -73,6 +73,7 @@ def test_every_rule_family_has_a_clean_fixture():
         "engine_bypass",
         "engine_perf",
         "resources",
+        "shapes",
     )
     for family in families:
         assert any(name.startswith(family) for name in clean), family

@@ -1,16 +1,31 @@
 """Rule registry, pragma parsing, and select/ignore expansion."""
 
+import os
+
 import pytest
 
 from repro.lint import active_rules, rule_classes, rule_codes
 from repro.lint.pragmas import Pragmas
 from repro.lint.registry import Rule
 
+DOCS_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "docs", "static-analysis.md"
+)
+
 
 def test_registry_exposes_at_least_five_domain_rules():
     assert len(rule_codes()) >= 5
     # One code per rule family named in the design.
-    for code in ("RL101", "RL201", "RL301", "RL401", "RL501"):
+    for code in (
+        "RL101",
+        "RL201",
+        "RL301",
+        "RL401",
+        "RL501",
+        "RL601",
+        "RL701",
+        "RL801",
+    ):
         assert code in rule_codes()
 
 
@@ -20,7 +35,15 @@ def test_rule_metadata_is_complete():
         assert rule_class.name
         assert rule_class.summary
         assert rule_class.rationale
+        assert rule_class.default_severity in ("error", "warning")
         assert issubclass(rule_class, Rule)
+
+
+def test_every_registered_code_is_documented():
+    with open(DOCS_PATH, encoding="utf-8") as handle:
+        documented = handle.read()
+    for code in rule_codes():
+        assert code in documented, f"{code} missing from docs/static-analysis.md"
 
 
 def test_codes_are_unique():
