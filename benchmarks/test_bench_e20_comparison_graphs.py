@@ -1,0 +1,20 @@
+"""E20 benchmark — comparison-graph families: dense vs sparse q*."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e20_comparison_graphs(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e20", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    # Edge-rich graphs keep the √n collision rate; edge-disjoint ones
+    # pay the linear rate, so the dense families must win the sweep.
+    assert result.summary["winner_at_largest_n"] in ("complete", "bipartite")
+    assert result.summary["dense_families_win"]
+    assert result.summary["sparse_over_dense_at_largest_n"] > 2.0
+    assert abs(result.summary["complete_n_exponent (theory: ~0.5)"] - 0.5) < 0.35
+    assert abs(result.summary["regular3_n_exponent (theory: ~1.0)"] - 1.0) < 0.5

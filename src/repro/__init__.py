@@ -72,6 +72,19 @@ from .core import (
     SimultaneousProtocol,
     Player,
     UniformityTester,
+    ComparisonGraph,
+    ComparisonGraphTester,
+    GraphStatisticPlayer,
+    complete_graph,
+    star_graph,
+    matching_graph,
+    cycle_graph,
+    bipartite_graph,
+    random_regular_graph,
+    build_family_graph,
+    graph_statistic_block,
+    graph_tester_factory,
+    worst_case_statistic_proxy,
     CentralizedCollisionTester,
     ThresholdRuleTester,
     AndRuleTester,
@@ -164,6 +177,19 @@ __all__ = [
     "SimultaneousProtocol",
     "Player",
     "UniformityTester",
+    "ComparisonGraph",
+    "ComparisonGraphTester",
+    "GraphStatisticPlayer",
+    "complete_graph",
+    "star_graph",
+    "matching_graph",
+    "cycle_graph",
+    "bipartite_graph",
+    "random_regular_graph",
+    "build_family_graph",
+    "graph_statistic_block",
+    "graph_tester_factory",
+    "worst_case_statistic_proxy",
     "CentralizedCollisionTester",
     "ThresholdRuleTester",
     "AndRuleTester",

@@ -39,6 +39,30 @@ from .players import (
     birthday_no_collision_probability,
 )
 from .protocol import Player, SimultaneousProtocol, ProtocolOutcome
+from .graphs import (
+    ComparisonGraph,
+    ComparisonGraphTester,
+    GraphStatisticPlayer,
+    GRAPH_FAMILIES,
+    complete_graph,
+    star_graph,
+    matching_graph,
+    cycle_graph,
+    bipartite_graph,
+    random_regular_graph,
+    build_family_graph,
+    snap_family_size,
+    graph_statistic_block,
+    graph_tester_factory,
+    uniform_statistic_moments,
+    far_statistic_mean_bound,
+    midpoint_threshold,
+    worst_case_statistic_proxy,
+    calibrate_statistic_threshold,
+    calibrate_dithered_statistic,
+    calibrate_distinct_threshold,
+    statistic_alarm_probabilities,
+)
 from .testers import (
     UniformityTester,
     AmplifiedTester,
@@ -81,6 +105,28 @@ __all__ = [
     "Player",
     "SimultaneousProtocol",
     "ProtocolOutcome",
+    "ComparisonGraph",
+    "ComparisonGraphTester",
+    "GraphStatisticPlayer",
+    "GRAPH_FAMILIES",
+    "complete_graph",
+    "star_graph",
+    "matching_graph",
+    "cycle_graph",
+    "bipartite_graph",
+    "random_regular_graph",
+    "build_family_graph",
+    "snap_family_size",
+    "graph_statistic_block",
+    "graph_tester_factory",
+    "uniform_statistic_moments",
+    "far_statistic_mean_bound",
+    "midpoint_threshold",
+    "worst_case_statistic_proxy",
+    "calibrate_statistic_threshold",
+    "calibrate_dithered_statistic",
+    "calibrate_distinct_threshold",
+    "statistic_alarm_probabilities",
     "UniformityTester",
     "AmplifiedTester",
     "CentralizedCollisionTester",

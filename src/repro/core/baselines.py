@@ -24,26 +24,32 @@ from typing import Optional
 
 import numpy as np
 
-from ..distributions.discrete import DiscreteDistribution, uniform
+from ..distributions.discrete import DiscreteDistribution
 from ..exceptions import InvalidParameterError
 from ..rng import RngLike, ensure_rng
-from .players import unique_counts
-from .testers import (
-    TesterResources,
-    UniformityTester,
-    default_centralized_q,
-    worst_case_collision_proxy,
-)
+from .base import TesterResources, UniformityTester
+from .graphs import ComparisonGraphTester, complete_graph
+from .testers import default_centralized_q
 
 
-class UniqueElementsTester(UniformityTester):
+class UniqueElementsTester(ComparisonGraphTester):
     """Accept iff enough distinct values appear among q samples.
 
-    Under U_n the expected number of distinct values among q samples is
-    exactly ``n·(1 − (1 − 1/n)^q)``; ε-far inputs collide more and reveal
-    fewer distinct values.  The acceptance cut sits at the Monte-Carlo
-    midpoint between the uniform and worst-case-far means.
+    The *distinct*-mode complete-graph instantiation of
+    :class:`~repro.core.graphs.ComparisonGraphTester`: on ``K_q`` a
+    vertex differs from every earlier neighbour exactly when its value is
+    new, so the graph statistic is the distinct-value count.  Under U_n
+    its expectation is ``n·(1 − (1 − 1/n)^q)``; ε-far inputs collide more
+    and reveal fewer distinct values.  The acceptance cut sits at the
+    Monte-Carlo midpoint between the uniform and worst-case-far means
+    (:func:`~repro.core.graphs.calibrate_distinct_threshold`, which keeps
+    the legacy calibration's exact draw order).
     """
+
+    #: v2: rebuilt on the comparison-graph layer.  Calibration draw
+    #: order, statistic and cut are bit-identical to v1; the bump marks
+    #: the move from fingerprint-derived to native graph cache tokens.
+    kernel_version = 2
 
     def __init__(
         self,
@@ -53,21 +59,24 @@ class UniqueElementsTester(UniformityTester):
         calibration_rng: RngLike = 0,
         calibration_trials: int = 3000,
     ):
-        super().__init__(n, epsilon)
-        self.q = q if q is not None else default_centralized_q(n, epsilon)
-        if self.q < 2:
-            raise InvalidParameterError(f"q must be >= 2, got {self.q}")
-        generator = ensure_rng(calibration_rng)
-        uniform_distinct = unique_counts(
-            uniform(n).sample_matrix(calibration_trials, self.q, generator)
+        # Validate (n, epsilon) before they feed the default-q formula.
+        UniformityTester.__init__(self, n, epsilon)
+        q = q if q is not None else default_centralized_q(n, epsilon)
+        if q < 2:
+            raise InvalidParameterError(f"q must be >= 2, got {q}")
+        super().__init__(
+            n,
+            epsilon,
+            complete_graph(q),
+            mode="distinct",
+            calibration_rng=calibration_rng,
+            calibration_trials=calibration_trials,
         )
-        far = worst_case_collision_proxy(n, epsilon)
-        far_distinct = unique_counts(
-            far.sample_matrix(calibration_trials, self.q, generator)
-        )
-        self.distinct_threshold = 0.5 * (
-            float(uniform_distinct.mean()) + float(far_distinct.mean())
-        )
+
+    @property
+    def distinct_threshold(self) -> float:
+        """Legacy name for the graph layer's ``statistic_threshold``."""
+        return self.statistic_threshold
 
     @staticmethod
     def expected_distinct_uniform(n: int, q: int) -> float:
@@ -75,25 +84,6 @@ class UniqueElementsTester(UniformityTester):
         if n < 1 or q < 0:
             raise InvalidParameterError("need n >= 1 and q >= 0")
         return n * (1.0 - (1.0 - 1.0 / n) ** q)
-
-    def accept_block(
-        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
-    ) -> np.ndarray:
-        """Single-tile kernel: distinct-value counts vs the calibrated cut."""
-        generator = ensure_rng(rng)
-        samples = distribution.sample_matrix(trials, self.q, generator)
-        return unique_counts(samples) >= self.distinct_threshold
-
-    def accept_batch(
-        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
-    ) -> np.ndarray:
-        from ..engine import chunked_accepts
-
-        return chunked_accepts(self, distribution, trials, rng)
-
-    @property
-    def resources(self) -> TesterResources:
-        return TesterResources(num_players=1, samples_per_player=self.q, message_bits=0)
 
 
 class EmpiricalDistanceTester(UniformityTester):

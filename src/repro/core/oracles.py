@@ -31,6 +31,94 @@ from .closeness import closeness_statistic
 from .players import collision_counts
 
 
+def graph_statistic_reference(graph, samples, mode: str = "edges") -> np.ndarray:
+    """Per-row, per-edge transcription of
+    :func:`~repro.core.graphs.graph_statistic_block`.
+
+    Walks every (row, edge) pair in Python — no sorting, no fast paths,
+    no reduceat — so the vectorised statistic (and its complete-graph
+    shortcuts through ``collision_counts``/``unique_counts``) can be
+    pinned against an implementation too simple to be wrong.
+    """
+    matrix = np.asarray(samples, dtype=np.int64)
+    if matrix.ndim == 1:
+        matrix = matrix[np.newaxis, :]
+    edges = list(zip(graph.edge_u.tolist(), graph.edge_v.tolist()))
+    out = np.zeros(matrix.shape[0], dtype=np.int64)
+    for row in range(matrix.shape[0]):
+        values = matrix[row]
+        if mode == "edges":
+            out[row] = sum(1 for u, v in edges if values[u] == values[v])
+        else:
+            covered = set()
+            for u, v in edges:
+                if values[u] == values[v]:
+                    covered.add(v)
+            out[row] = graph.num_vertices - len(covered)
+    return out
+
+
+def comparison_graph_reference_accept_block(
+    tester: object,
+    distribution: DiscreteDistribution,
+    trials: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Per-trial transcription of
+    :class:`~repro.core.graphs.ComparisonGraphTester.accept_block`
+    (hence of the rebuilt ``CentralizedCollisionTester`` and
+    ``UniqueElementsTester`` kernels).
+
+    Same single upfront sample draw as the vectorised kernel, statistic
+    evaluated edge by edge — bit-identical under a same-seeded generator.
+    """
+    generator = ensure_rng(rng)
+    samples = distribution.sample_matrix(trials, tester.q, generator)
+    accepts = np.empty(trials, dtype=bool)
+    for trial in range(trials):  # repro-lint: disable=RL303 reference oracle
+        statistic = int(
+            graph_statistic_reference(
+                tester.graph, samples[trial], tester.mode
+            )[0]
+        )
+        if tester.mode == "distinct":
+            accepts[trial] = statistic >= tester.statistic_threshold
+        else:
+            accepts[trial] = statistic <= tester.statistic_threshold
+    return accepts
+
+
+def network_graph_reference_accept_block(
+    tester: object,
+    distribution: DiscreteDistribution,
+    trials: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Per-trial, per-node transcription of the rebuilt
+    :class:`~repro.network.tester.NetworkUniformityTester` kernel.
+
+    Same single upfront (trials·k × q) sample draw, each node's
+    comparison statistic evaluated edge by edge, alarms counted in
+    Python — bit-identical under a same-seeded generator.
+    """
+    generator = ensure_rng(rng)
+    samples = distribution.sample_matrix(trials * tester.k, tester.q, generator)
+    comparison_graph = tester.comparison_graph
+    threshold = tester.player_statistic_threshold
+    accepts = np.empty(trials, dtype=bool)
+    for trial in range(trials):  # repro-lint: disable=RL303 reference oracle
+        alarms = 0
+        for node in range(tester.k):
+            statistic = int(
+                graph_statistic_reference(
+                    comparison_graph, samples[trial * tester.k + node]
+                )[0]
+            )
+            alarms += int(statistic > threshold)
+        accepts[trial] = alarms < tester.reject_threshold
+    return accepts
+
+
 def reference_acceptance_rate(
     tester: object,
     distribution: DiscreteDistribution,

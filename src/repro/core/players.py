@@ -12,6 +12,9 @@ quantisation of K:
 * :func:`calibrate_collision_threshold` — pick the threshold so the
   false-reject probability under the uniform distribution is at most a
   target (what the AND-rule tester needs: a per-player bias of 1/(3k));
+  since the comparison-graph refactor this (and its dithered twin) are
+  thin deprecated wrappers over :mod:`repro.core.graphs`' calibration
+  API evaluated on the complete graph ``K_q``;
 * :class:`UniqueElementsPlayer` — the distinct-elements alternative
   statistic;
 * :class:`SubsetMembershipPlayer` — the hash bit used by single-sample and
@@ -29,7 +32,6 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from ..distributions.discrete import uniform
 from ..exceptions import InvalidParameterError
 from ..rng import RngLike, ensure_rng
 
@@ -226,25 +228,24 @@ def calibrate_dithered_collision(
     under U_n the player alarms with probability ≈ ``target_alarm_rate``:
     always above the threshold, with the calibrated probability exactly at
     it.  Rates are estimated from ``trials`` Monte Carlo draws.
+
+    Deprecated thin wrapper over the graph layer's
+    :func:`~repro.core.graphs.calibrate_dithered_statistic` on the
+    complete graph ``K_q`` — same draw order, bit-identical results.
     """
     if not 0.0 < target_alarm_rate <= 1.0:
         raise InvalidParameterError(
             f"target_alarm_rate must be in (0,1], got {target_alarm_rate}"
         )
-    if trials < 100:
-        raise InvalidParameterError(f"trials must be >= 100, got {trials}")
-    generator = ensure_rng(rng)
-    counts = collision_counts(uniform(n).sample_matrix(trials, q, generator))
-    maximum = int(counts.max())
-    for t in range(0, maximum + 2):
-        tail = float((counts > t).mean())
-        if tail <= target_alarm_rate:
-            at_boundary = float((counts == t).mean())
-            if at_boundary <= 0.0:
-                return t, 0.0, tail
-            gamma = min(1.0, (target_alarm_rate - tail) / at_boundary)
-            return t, gamma, tail + gamma * at_boundary
-    return maximum + 1, 0.0, 0.0
+    if q < 2:
+        # Degenerate legacy behaviour: no pairs, the count is always 0,
+        # and the whole target rate is realised by the boundary dither.
+        return 0, float(target_alarm_rate), float(target_alarm_rate)
+    from .graphs import calibrate_dithered_statistic, complete_graph
+
+    return calibrate_dithered_statistic(
+        complete_graph(q), n, target_alarm_rate, trials=trials, rng=rng
+    )
 
 
 class UniqueElementsPlayer(PlayerStrategy):
@@ -342,25 +343,21 @@ def calibrate_collision_threshold(
     Carlo except for ``t = 0``, where the exact birthday formula is used.
     The AND-rule tester calls this with ``max_reject_probability = 1/(3k)``
     so the union bound over players keeps completeness above 2/3.
+
+    Deprecated thin wrapper over the graph layer's
+    :func:`~repro.core.graphs.calibrate_statistic_threshold` on the
+    complete graph ``K_q`` — same exact-birthday shortcut, same draw
+    order, bit-identical results.
     """
     if not 0.0 < max_reject_probability <= 1.0:
         raise InvalidParameterError(
             f"max_reject_probability must be in (0,1], got {max_reject_probability}"
         )
-    if trials < 100:
-        raise InvalidParameterError(f"trials must be >= 100, got {trials}")
-    exact_any_collision = 1.0 - birthday_no_collision_probability(n, q)
-    if exact_any_collision <= max_reject_probability:
-        return 0, exact_any_collision
+    if q < 2:
+        # Degenerate legacy behaviour: no pairs means no collisions ever.
+        return 0, 0.0
+    from .graphs import calibrate_statistic_threshold, complete_graph
 
-    generator = ensure_rng(rng)
-    counts = collision_counts(uniform(n).sample_matrix(trials, q, generator))
-    # Smallest t whose empirical upper tail is within target; pad the
-    # estimate with one standard error so the calibration errs conservative.
-    sorted_counts = np.sort(counts)
-    for t in range(0, int(sorted_counts[-1]) + 1):
-        tail = float((counts > t).mean())
-        standard_error = np.sqrt(max(tail * (1 - tail), 1.0 / trials) / trials)
-        if tail + standard_error <= max_reject_probability:
-            return t, tail
-    return int(sorted_counts[-1]) + 1, 0.0
+    return calibrate_statistic_threshold(
+        complete_graph(q), n, max_reject_probability, trials=trials, rng=rng
+    )

@@ -24,131 +24,54 @@ collision-statistic constructions whose optimality the paper establishes:
 
 All testers expose ``acceptance_probability`` (vectorised Monte Carlo) and
 a uniform ``resources`` record for the experiment harness.
+
+Since the comparison-graph refactor the coincidence statistics live in
+:mod:`repro.core.graphs`: the centralized tester is the complete-graph
+instantiation of :class:`~repro.core.graphs.ComparisonGraphTester`, and
+the threshold/AND-rule calibrations run through the graph layer's
+moment/calibration API (bit-identically to the helpers they replaced).
 """
 
 from __future__ import annotations
 
 import math
-from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Tuple
 
 import numpy as np
 
-from ..distributions.discrete import DiscreteDistribution, uniform
-from ..distributions.families import PaninskiFamily
+from ..distributions.discrete import DiscreteDistribution
 from ..exceptions import InvalidParameterError
 from ..rng import RngLike, ensure_rng
-from .players import (
-    CollisionBitPlayer,
-    DitheredCollisionBitPlayer,
-    calibrate_collision_threshold,
-    calibrate_dithered_collision,
-    collision_counts,
+from .base import TesterResources, UniformityTester
+from .graphs import (
+    ComparisonGraphTester,
+    complete_graph,
+    graph_statistic_block,
+    midpoint_threshold,
+    statistic_alarm_probabilities,
+    calibrate_dithered_statistic,
+    calibrate_statistic_threshold,
+    worst_case_statistic_proxy,
 )
+from .players import CollisionBitPlayer, DitheredCollisionBitPlayer
 from .protocol import SimultaneousProtocol
 from .referees import AndRule, ThresholdRule
 
-
-@dataclass(frozen=True)
-class TesterResources:
-    """The resources a tester consumes per execution."""
-
-    num_players: int
-    samples_per_player: int
-    message_bits: int
-
-    @property
-    def total_samples(self) -> int:
-        return self.num_players * self.samples_per_player
-
-
-class UniformityTester(ABC):
-    """Base interface shared by every uniformity tester.
-
-    Decisions are boolean with ``True`` = accept = "looks uniform".  The
-    paper's correctness requirement is two-sided 2/3 confidence:
-    completeness ``P[accept | U_n] >= 2/3`` and soundness
-    ``P[reject | ε-far] >= 2/3``.
-    """
-
-    def __init__(self, n: int, epsilon: float):
-        if n < 2:
-            raise InvalidParameterError(f"n must be >= 2, got {n}")
-        if not 0.0 < epsilon < 1.0:
-            raise InvalidParameterError(f"epsilon must be in (0,1), got {epsilon}")
-        self.n = int(n)
-        self.epsilon = float(epsilon)
-
-    @abstractmethod
-    def accept_batch(
-        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
-    ) -> np.ndarray:
-        """Boolean accept vector over ``trials`` independent executions."""
-
-    @property
-    @abstractmethod
-    def resources(self) -> TesterResources:
-        """Players / samples / message bits consumed per execution."""
-
-    def test(self, distribution: DiscreteDistribution, rng: RngLike = None) -> bool:
-        """One execution: ``True`` iff the tester accepts (says uniform)."""
-        return bool(self.accept_batch(distribution, 1, rng)[0])
-
-    def acceptance_probability(
-        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
-    ) -> float:
-        """Monte Carlo estimate of P[accept] against ``distribution``.
-
-        Runs through the engine's kernel substrate
-        (:func:`repro.engine.estimate_acceptance`), which supplies chunked
-        streaming, caching and metrics for every tester uniformly.
-        """
-        if trials < 1:
-            raise InvalidParameterError(f"trials must be >= 1, got {trials}")
-        from ..engine import estimate_acceptance
-
-        return estimate_acceptance(self, distribution, trials=trials, rng=rng).rate
-
-    def completeness(self, trials: int, rng: RngLike = None) -> float:
-        """P[accept | U_n], estimated."""
-        return self.acceptance_probability(uniform(self.n), trials, rng)
-
-    def soundness(
-        self, far_distribution: DiscreteDistribution, trials: int, rng: RngLike = None
-    ) -> float:
-        """P[reject | far_distribution], estimated."""
-        return 1.0 - self.acceptance_probability(far_distribution, trials, rng)
-
-    def worst_case_success(
-        self,
-        trials: int,
-        rng: RngLike = None,
-        num_family_members: int = 5,
-        extra_far_distributions: Sequence[DiscreteDistribution] = (),
-    ) -> float:
-        """min(completeness, soundness) over an adversarial test set.
-
-        Soundness is taken as the minimum over ``num_family_members``
-        random Paninski members (the paper's hard family, which should be
-        the hardest alternative) plus any caller-supplied distributions.
-        """
-        generator = ensure_rng(rng)
-        success = self.completeness(trials, generator)
-        family = PaninskiFamily(self.n if self.n % 2 == 0 else self.n - 1, self.epsilon)
-        for _ in range(num_family_members):
-            member = family.sample_distribution(generator)
-            success = min(success, self.soundness(member, trials, generator))
-        for far in extra_far_distributions:
-            success = min(success, self.soundness(far, trials, generator))
-        return success
-
-    def __repr__(self) -> str:
-        res = self.resources
-        return (
-            f"{type(self).__name__}(n={self.n}, eps={self.epsilon}, "
-            f"k={res.num_players}, q={res.samples_per_player})"
-        )
+__all__ = [
+    "TesterResources",
+    "UniformityTester",
+    "AmplifiedTester",
+    "CentralizedCollisionTester",
+    "ThresholdRuleTester",
+    "AndRuleTester",
+    "PairwiseHashTester",
+    "SimulationTester",
+    "default_centralized_q",
+    "default_distributed_q",
+    "worst_case_collision_proxy",
+    "collision_bit_probabilities",
+    "max_alarm_rate_for_threshold",
+]
 
 
 def default_centralized_q(n: int, epsilon: float, multiplier: float = 3.0) -> int:
@@ -213,57 +136,47 @@ class AmplifiedTester(UniformityTester):
         )
 
 
-class CentralizedCollisionTester(UniformityTester):
+class CentralizedCollisionTester(ComparisonGraphTester):
     """The classical collision-based uniformity tester (q = Θ(√n/ε²)).
 
-    Draws q samples, counts coincident pairs K, and accepts iff K is below
+    The complete-graph instantiation of
+    :class:`~repro.core.graphs.ComparisonGraphTester`: draws q samples,
+    counts coincident pairs ``K = Y_{K_q}``, and accepts iff K is below
     the midpoint between the uniform expectation ``C(q,2)/n`` and the
     smallest possible ε-far expectation ``C(q,2)(1+ε²)/n`` (an ε-far
     distribution has ``||μ||₂² ≥ (1+ε²)/n``).
     """
 
+    #: v2: rebuilt on the comparison-graph layer.  Draw order, statistic
+    #: and threshold arithmetic are bit-identical to v1; the bump marks
+    #: the move from fingerprint-derived to native graph cache tokens.
+    kernel_version = 2
+
     def __init__(self, n: int, epsilon: float, q: Optional[int] = None):
-        super().__init__(n, epsilon)
-        self.q = q if q is not None else default_centralized_q(n, epsilon)
-        if self.q < 2:
-            raise InvalidParameterError(f"q must be >= 2, got {self.q}")
-        pairs = self.q * (self.q - 1) / 2.0
-        self.collision_threshold = pairs * (1.0 + self.epsilon**2 / 2.0) / self.n
-
-    def accept_block(
-        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
-    ) -> np.ndarray:
-        """Single-tile kernel: one (trials × q) sample matrix, thresholded."""
-        generator = ensure_rng(rng)
-        samples = distribution.sample_matrix(trials, self.q, generator)
-        return collision_counts(samples) <= self.collision_threshold
-
-    def accept_batch(
-        self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
-    ) -> np.ndarray:
-        from ..engine import chunked_accepts
-
-        return chunked_accepts(self, distribution, trials, rng)
+        # Validate (n, epsilon) before they feed the default-q formula.
+        UniformityTester.__init__(self, n, epsilon)
+        q = q if q is not None else default_centralized_q(n, epsilon)
+        if q < 2:
+            raise InvalidParameterError(f"q must be >= 2, got {q}")
+        super().__init__(n, epsilon, complete_graph(q), mode="edges")
 
     @property
-    def resources(self) -> TesterResources:
-        return TesterResources(num_players=1, samples_per_player=self.q, message_bits=0)
+    def collision_threshold(self) -> float:
+        """Legacy name for the graph layer's ``statistic_threshold``."""
+        return self.statistic_threshold
 
 
 def worst_case_collision_proxy(n: int, epsilon: float) -> DiscreteDistribution:
-    """The canonical least-detectable ε-far distribution for calibration.
+    """Deprecated alias for the graph layer's worst-case proxy.
 
-    Every hard-family member ν_z has pmf values ``(1±ε)/n``, hence
-    ``||ν_z||₂² = (1+ε²)/n`` — the *minimum* possible for an ε-far
-    distribution — and the distribution of any collision statistic depends
-    only on the multiset of probabilities.  The two-level distribution has
-    the same multiset, so calibrating alarm probabilities on it is exact
-    for the entire family ν_z and conservative for every other ε-far input.
+    Kept for existing call sites; new code should pass its actual graph
+    to :func:`~repro.core.graphs.worst_case_statistic_proxy`, which
+    documents why the two-level construction is exact for *every*
+    comparison-graph statistic (the coincidence-pattern law depends only
+    on the probability multiset).  The single compared pair ``K_2``
+    stands in for the legacy collision-specific reading.
     """
-    from ..distributions.generators import two_level_distribution
-
-    even_n = n if n % 2 == 0 else n - 1
-    return two_level_distribution(even_n, epsilon)
+    return worst_case_statistic_proxy(complete_graph(2), n, epsilon)
 
 
 def collision_bit_probabilities(
@@ -273,18 +186,17 @@ def collision_bit_probabilities(
     threshold: float,
     trials: int = 3000,
     rng: RngLike = 0,
-) -> tuple:
+) -> Tuple[float, float]:
     """(p₀, p₁): alarm probabilities of ``K > threshold`` under U_n and
-    under the worst-case ε-far proxy, estimated by Monte Carlo."""
-    if trials < 100:
-        raise InvalidParameterError(f"trials must be >= 100, got {trials}")
-    generator = ensure_rng(rng)
-    uniform_counts = collision_counts(uniform(n).sample_matrix(trials, q, generator))
-    far = worst_case_collision_proxy(n, epsilon)
-    far_counts = collision_counts(far.sample_matrix(trials, q, generator))
-    p_uniform = float((uniform_counts > threshold).mean())
-    p_far = float((far_counts > threshold).mean())
-    return p_uniform, p_far
+    under the worst-case ε-far proxy, estimated by Monte Carlo.
+
+    Deprecated thin wrapper over the graph layer's
+    :func:`~repro.core.graphs.statistic_alarm_probabilities` on the
+    complete graph — same draw order, bit-identical results.
+    """
+    return statistic_alarm_probabilities(
+        complete_graph(q), n, epsilon, threshold, trials=trials, rng=rng
+    )
 
 
 def max_alarm_rate_for_threshold(
@@ -346,11 +258,11 @@ class ThresholdRuleTester(UniformityTester):
         if self.q < 2:
             raise InvalidParameterError(f"q must be >= 2, got {self.q}")
 
-        pairs = self.q * (self.q - 1) / 2.0
+        player_graph = complete_graph(self.q)
         if forced_T is None:
-            threshold = pairs * (1.0 + self.epsilon**2 / 2.0) / self.n
-            p_uniform, p_far = collision_bit_probabilities(
-                n, self.q, epsilon, threshold, calibration_trials, calibration_rng
+            threshold = midpoint_threshold(player_graph, self.n, self.epsilon)
+            p_uniform, p_far = statistic_alarm_probabilities(
+                player_graph, n, epsilon, threshold, calibration_trials, calibration_rng
             )
             midpoint = self.k * 0.5 * (p_uniform + p_far)
             self.reject_threshold = min(self.k, max(1, int(math.ceil(midpoint))))
@@ -366,8 +278,8 @@ class ThresholdRuleTester(UniformityTester):
             # hits the target alarm rate exactly despite the integer-valued
             # collision statistic.
             target = max_alarm_rate_for_threshold(self.k, self.reject_threshold)
-            threshold, gamma, achieved = calibrate_dithered_collision(
-                n, self.q, target, trials=calibration_trials, rng=calibration_rng
+            threshold, gamma, achieved = calibrate_dithered_statistic(
+                player_graph, n, target, trials=calibration_trials, rng=calibration_rng
             )
             self.player_collision_threshold = float(threshold)
             self.player_reject_probability = achieved
@@ -427,8 +339,12 @@ class AndRuleTester(UniformityTester):
         self.q = q if q is not None else default_centralized_q(n, epsilon)
         if self.q < 2:
             raise InvalidParameterError(f"q must be >= 2, got {self.q}")
-        threshold, estimate = calibrate_collision_threshold(
-            n, self.q, 1.0 / (3.0 * self.k), trials=calibration_trials, rng=calibration_rng
+        threshold, estimate = calibrate_statistic_threshold(
+            complete_graph(self.q),
+            n,
+            1.0 / (3.0 * self.k),
+            trials=calibration_trials,
+            rng=calibration_rng,
         )
         self.player_collision_threshold = threshold
         self.player_reject_probability = estimate
@@ -506,6 +422,9 @@ class PairwiseHashTester(UniformityTester):
         # Never let groups shrink below 2 players (no pairs, no signal).
         self.num_groups = min(int(num_groups), self.k // 2)
         self.group_size = self.k // self.num_groups
+        # Hash agreement within a group is the complete-graph comparison
+        # statistic on the group's messages.
+        self._group_graph = complete_graph(self.group_size)
 
     def accept_batch(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
@@ -517,7 +436,10 @@ class PairwiseHashTester(UniformityTester):
     #: v2: public hashes drawn as one batched argsort of uniform keys
     #: (same law — a uniform random permutation of the balanced bucket
     #: pattern per (trial, group) — but a different draw order).
-    kernel_version = 2
+    #: v3: per-group collision counting routed through the comparison-
+    #: graph layer (complete graph on the group's messages); identical
+    #: values and draw order, bumped to mark the statistic-path rewrite.
+    kernel_version = 3
 
     def accept_block(
         self, distribution: DiscreteDistribution, trials: int, rng: RngLike = None
@@ -543,12 +465,9 @@ class PairwiseHashTester(UniformityTester):
         hashes = pattern[np.argsort(keys, axis=1, kind="stable")]
         grouped = samples.reshape(rows, group_size)
         messages = np.take_along_axis(hashes, grouped, axis=1)
-        # Per-row bucket counts via one offset bincount.
-        offsets = np.arange(rows, dtype=np.int64)[:, np.newaxis] * self.num_buckets
-        bucket_counts = np.bincount(
-            (messages + offsets).ravel(), minlength=rows * self.num_buckets
-        ).reshape(rows, self.num_buckets)
-        collisions = (bucket_counts * (bucket_counts - 1)).sum(axis=1) / 2.0
+        # Colliding message pairs per (trial, group) row: the complete-
+        # graph comparison statistic on the group's hashed messages.
+        collisions = graph_statistic_block(self._group_graph, messages)
         # Every hash is a permutation of the same balanced pattern, so
         # the conditional uniform collision mass Σ_b (|h⁻¹(b)|/n)² is one
         # exactly-computable constant shared by all rows.

@@ -1,0 +1,119 @@
+"""E20 — which comparison graph wins at which (n, ε)?
+
+Every statistic-based tester in this repo is now an instantiation of the
+comparison-graph layer (:mod:`repro.core.graphs`): a player draws q
+samples, wires them with a graph G, and counts coinciding endpoints.
+This experiment sweeps the empirical sample complexity q*(n) of the
+structured families side by side:
+
+* **dense** families (complete, bipartite) pack Θ(q²) edges into q
+  samples — the collision tester's √n/ε² regime;
+* **sparse** families (matching, cycle, star, 3-regular) carry only
+  Θ(q) edges, so the same separation costs q ≈ n/ε⁴ samples — a full
+  √n·ε⁻² factor worse, the price of pairwise-disjoint comparisons.
+
+All families are searched against the *same* adversarial far
+distributions on shared probe seeds (one root entropy per point), so the
+per-family curves are directly comparable and bit-deterministic across
+engine backends and worker counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..stats.complexity import graph_family_complexity_sweep
+from ..stats.fitting import fit_power_law
+from .harness import ExperimentSpec
+from .records import ExperimentResult
+
+#: Sweep order: dense families first, then the sparse ones they dominate.
+DENSE_FAMILIES = ("complete", "bipartite")
+SPARSE_FAMILIES = ("matching", "cycle", "star", "regular3")
+
+
+def _sweep(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One point per universe size; every family measured there."""
+    return [{"n": n} for n in params["n_sweep"]]
+
+
+def _point(point: Dict[str, Any], params: Dict[str, Any], rng) -> Dict[str, Any]:
+    n, eps = int(point["n"]), params["eps"]
+    results = graph_family_complexity_sweep(
+        params["families"],
+        n=n,
+        epsilon=eps,
+        trials=params["trials"],
+        q_max=params["q_max"],
+        rng=rng,
+        sprt=True,
+    )
+    row: Dict[str, Any] = {"n": n, "eps": eps}
+    for family, result in results.items():
+        row[f"{family}_q_star"] = result.resource_star
+    return row
+
+
+def _fold(
+    result: ExperimentResult,
+    params: Dict[str, Any],
+    points: List[Dict[str, Any]],
+    payloads: List[Any],
+) -> None:
+    for row in payloads:
+        result.add_row(**row)
+
+    ns = params["n_sweep"]
+    for family in params["families"]:
+        fit = fit_power_law(ns, [row[f"{family}_q_star"] for row in result.rows])
+        expected = 0.5 if family in DENSE_FAMILIES else 1.0
+        result.summary[f"{family}_n_exponent (theory: ~{expected})"] = (
+            fit.exponent
+        )
+
+    last = result.rows[-1]
+    stars = {f: last[f"{f}_q_star"] for f in params["families"]}
+    result.summary["winner_at_largest_n"] = min(stars, key=stars.get)
+    dense = [stars[f] for f in params["families"] if f in DENSE_FAMILIES]
+    sparse = [stars[f] for f in params["families"] if f in SPARSE_FAMILIES]
+    if dense and sparse:
+        result.summary["sparse_over_dense_at_largest_n"] = min(sparse) / max(
+            dense
+        )
+        result.summary["dense_families_win"] = max(dense) <= min(sparse)
+
+
+#: All scales sweep the same six families; scales differ only in the n
+#: grid, the far-side gap ε, the probe budget, and the search ceiling.
+_FAMILIES = list(DENSE_FAMILIES + SPARSE_FAMILIES)
+
+SPEC = ExperimentSpec(
+    experiment_id="e20",
+    title="Comparison-graph families: dense vs sparse sample complexity",
+    scales={
+        "smoke": {
+            "n_sweep": [32, 64],
+            "eps": 0.6,
+            "trials": 30,
+            "families": _FAMILIES,
+            "q_max": 50_000,
+        },
+        "small": {
+            "n_sweep": [64, 256],
+            "eps": 0.5,
+            "trials": 120,
+            "families": _FAMILIES,
+            "q_max": 200_000,
+        },
+        "paper": {
+            "n_sweep": [64, 256, 1024, 4096],
+            "eps": 0.5,
+            "trials": 300,
+            "families": _FAMILIES,
+            "q_max": 1_000_000,
+        },
+    },
+    sweep=_sweep,
+    point=_point,
+    fold=_fold,
+)

@@ -3,27 +3,39 @@
 Realises the paper's simultaneous model on a concrete topology:
 
 1. build a BFS spanning tree rooted at the referee node (O(D) rounds);
-2. every node draws q samples and computes the calibrated collision-alarm
-   bit of :class:`~repro.core.testers.ThresholdRuleTester`;
+2. every node draws q samples and computes a calibrated comparison-graph
+   alarm bit (:class:`~repro.core.graphs.GraphStatisticPlayer`; the
+   default complete graph reproduces the collision-alarm bit of
+   :class:`~repro.core.testers.ThresholdRuleTester` exactly);
 3. the alarm *count* is convergecast to the root (O(depth) rounds,
    O(log k)-bit messages — the CONGEST footprint);
 4. the root applies the threshold rule and broadcasts the verdict.
 
-Statistically this is exactly the threshold-rule tester (the test suite
-asserts the equivalence bit-for-bit); what the network adds is the cost
-model: rounds ≈ BFS + 2·depth and per-edge messages of ⌈log₂(k+1)⌉ bits.
+Statistically this is exactly the threshold-rule tester generalised to an
+arbitrary per-node comparison graph (the test suite asserts the
+complete-graph equivalence bit-for-bit); what the network adds is the
+cost model: rounds ≈ BFS + 2·depth and per-edge messages of ⌈log₂(k+1)⌉
+bits.  Note the two unrelated graphs in play: the *topology* wires the
+players together, the *comparison graph* wires each player's own samples.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
 import networkx as nx
 import numpy as np
 
-from ..core.players import CollisionBitPlayer
-from ..core.testers import ThresholdRuleTester
+from ..core.graphs import (
+    ComparisonGraph,
+    GraphStatisticPlayer,
+    complete_graph,
+    midpoint_threshold,
+    statistic_alarm_probabilities,
+)
+from ..core.testers import default_distributed_q
 from ..distributions.discrete import DiscreteDistribution
 from ..exceptions import InvalidParameterError
 from ..rng import RngLike, ensure_rng
@@ -59,6 +71,12 @@ class NetworkUniformityTester:
         Samples per node (defaults to the threshold tester's optimum).
     root:
         Referee node id.
+    comparison_graph:
+        Per-node comparison graph driving each player's alarm bit.
+        ``None`` (the default) uses the complete graph on the q samples —
+        the classical collision bit, calibrated bit-identically to
+        :class:`~repro.core.testers.ThresholdRuleTester`.  Passing a
+        graph fixes ``q = comparison_graph.num_vertices``.
     """
 
     def __init__(
@@ -69,6 +87,8 @@ class NetworkUniformityTester:
         q: Optional[int] = None,
         root: int = 0,
         calibration_rng: RngLike = 0,
+        calibration_trials: int = 3000,
+        comparison_graph: Optional[ComparisonGraph] = None,
     ):
         validate_topology(graph)
         self.graph = graph
@@ -76,17 +96,41 @@ class NetworkUniformityTester:
         if not 0 <= root < self.k:
             raise InvalidParameterError(f"root {root} outside [0, {self.k})")
         self.root = root
-        # Reuse the simultaneous tester's calibration wholesale: player
-        # threshold, referee threshold, and q default.
-        self._reference = ThresholdRuleTester(
-            n, epsilon, self.k, q=q, calibration_rng=calibration_rng
-        )
         self.n = n
-        self.epsilon = epsilon
-        self.q = self._reference.q
-        self.reject_threshold = self._reference.reject_threshold
-        self._player = CollisionBitPlayer(
-            threshold=self._reference.player_collision_threshold
+        self.epsilon = float(epsilon)
+        if comparison_graph is None:
+            q = q if q is not None else default_distributed_q(n, self.k, epsilon)
+            if q < 2:
+                raise InvalidParameterError(f"q must be >= 2, got {q}")
+            comparison_graph = complete_graph(q)
+        elif q is not None and q != comparison_graph.num_vertices:
+            raise InvalidParameterError(
+                f"q={q} conflicts with the comparison graph's "
+                f"{comparison_graph.num_vertices} sample slots"
+            )
+        self.comparison_graph = comparison_graph
+        self.q = comparison_graph.num_vertices
+        # The same calibration the simultaneous threshold-rule tester
+        # runs, generalised to the node's comparison graph: cut each
+        # node's statistic at the analytic midpoint, then place the
+        # referee threshold midway between the alarm probabilities under
+        # U_n and under the worst-case ε-far proxy.
+        self.player_statistic_threshold = midpoint_threshold(
+            comparison_graph, n, self.epsilon
+        )
+        p_uniform, p_far = statistic_alarm_probabilities(
+            comparison_graph,
+            n,
+            self.epsilon,
+            self.player_statistic_threshold,
+            calibration_trials,
+            calibration_rng,
+        )
+        midpoint = self.k * 0.5 * (p_uniform + p_far)
+        self.reject_threshold = min(self.k, max(1, int(math.ceil(midpoint))))
+        self.player_reject_probability = p_uniform
+        self._player = GraphStatisticPlayer(
+            comparison_graph, self.player_statistic_threshold
         )
         # The spanning tree is topology state, built once (rebuilding per
         # execution only re-derives the same tree deterministically).
@@ -152,19 +196,21 @@ class NetworkUniformityTester:
         # exact alarm sum on any connected graph), so the token carries
         # only the statistical configuration — curves are shared across
         # topologies but can never collide with protocol-kernel curves.
+        # v2: per-node statistic generalised to an arbitrary comparison
+        # graph, whose family and exact edge structure key the curve.
         return {
             "schema": KERNEL_SCHEMA_VERSION,
             "kind": "network",
             "class": "NetworkUniformityTester",
-            "kernel_version": 1,
+            "kernel_version": 2,
             "n": self.n,
             "epsilon": self.epsilon,
             "k": self.k,
             "q": self.q,
+            "family": self.comparison_graph.family,
+            "comparison_graph": self.comparison_graph.content_hash(),
             "reject_threshold": self.reject_threshold,
-            "player_collision_threshold": (
-                self._reference.player_collision_threshold
-            ),
+            "player_statistic_threshold": self.player_statistic_threshold,
         }
 
     @property

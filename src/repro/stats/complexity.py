@@ -493,6 +493,71 @@ def classify_cached(level: int, curve: Dict[int, float], classify) -> bool:
     return cache[level]
 
 
+def graph_family_complexity_sweep(
+    families: Sequence[str],
+    n: int,
+    epsilon: float,
+    trials: int = 300,
+    target: float = 2.0 / 3.0,
+    margin: float = 0.04,
+    q_min: int = 2,
+    q_max: int = 1_000_000,
+    resolution_factor: float = 1.10,
+    far_distributions: Optional[Sequence[DiscreteDistribution]] = None,
+    rng: RngLike = None,
+    mode: str = "edges",
+    sprt: bool = False,
+    sprt_margin: float = 0.05,
+    sprt_error_rate: float = 0.05,
+    sprt_max_trials: Optional[int] = None,
+) -> Dict[str, SampleComplexityResult]:
+    """q* of every requested comparison-graph family, on shared probes.
+
+    For each family name registered in
+    :data:`repro.core.graphs.GRAPH_FAMILIES` this runs
+    :func:`empirical_sample_complexity` over
+    :func:`repro.core.graphs.graph_tester_factory` — the probed level is
+    the number of sample slots q, snapped to the family's nearest valid
+    size (even for matchings, ``q > d`` with ``q·d`` even for regular
+    graphs) before the graph is built.
+
+    One root entropy is derived up front and shared by every family's
+    search, so all families face the *same* adversarial alternatives and
+    the same per-level probe seeds: the per-family q* values are directly
+    comparable, bit-deterministic across engine backends / worker counts
+    / tile sizes, and replayable from a warm acceptance cache (each
+    probe's key includes the graph's family and edge-structure hash, so
+    curves never collide across families).  Returns ``{family: result}``
+    in the order given.
+    """
+    from ..core.graphs import graph_tester_factory
+    from ..engine import derive_root_entropy
+
+    if not families:
+        raise InvalidParameterError("need at least one graph family")
+    root_entropy = derive_root_entropy(rng)
+    results: Dict[str, SampleComplexityResult] = {}
+    for family in families:
+        results[family] = empirical_sample_complexity(
+            graph_tester_factory(family, n, epsilon, mode=mode),
+            n=n,
+            epsilon=epsilon,
+            trials=trials,
+            target=target,
+            margin=margin,
+            q_min=q_min,
+            q_max=q_max,
+            resolution_factor=resolution_factor,
+            far_distributions=far_distributions,
+            rng=root_entropy,
+            sprt=sprt,
+            sprt_margin=sprt_margin,
+            sprt_error_rate=sprt_error_rate,
+            sprt_max_trials=sprt_max_trials,
+        )
+    return results
+
+
 def empirical_player_complexity(
     tester_factory: TesterFactory,
     n: int,

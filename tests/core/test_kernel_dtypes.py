@@ -36,6 +36,16 @@ def test_collision_and_unique_counts_are_int64():
     assert unique_counts(samples).dtype == np.int64
 
 
+def test_graph_statistic_blocks_are_int64():
+    from repro.core.graphs import cycle_graph, graph_statistic_block
+
+    samples = uniform(N).sample_matrix(TRIALS, 12, 1)
+    for mode in ("edges", "distinct"):
+        assert graph_statistic_block(cycle_graph(12), samples, mode).dtype == (
+            np.int64
+        )
+
+
 def test_empirical_distance_statistics_are_float64():
     tester = repro.EmpiricalDistanceTester(N, EPS)
     statistics = tester._statistics(uniform(N), TRIALS, np.random.default_rng(0))
@@ -66,6 +76,10 @@ def test_l1_errors_blocks_are_float64():
         lambda: LearningSuccessKernel(
             repro.FrequencyDitheringLearner(N, K, 3), delta=2.0
         ),
+        lambda: repro.ComparisonGraphTester(N, EPS, repro.cycle_graph(12)),
+        lambda: repro.ComparisonGraphTester(
+            N, EPS, repro.matching_graph(12), mode="distinct"
+        ),
     ],
     ids=[
         "centralized",
@@ -76,6 +90,8 @@ def test_l1_errors_blocks_are_float64():
         "multibit",
         "closeness-reduction",
         "learning-success",
+        "graph-cycle",
+        "graph-matching-distinct",
     ],
 )
 def test_accept_block_verdicts_are_bool(make):

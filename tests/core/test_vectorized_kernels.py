@@ -130,7 +130,9 @@ class TestStatisticalKernels:
 class TestKernelContracts:
     def test_bumped_kernel_versions(self):
         """Stream-reordering vectorizations must invalidate cached curves."""
-        assert PairwiseHashTester.kernel_version == 2
+        # v2 batched the hash draws; v3 routed per-group collision
+        # counting through the comparison-graph layer.
+        assert PairwiseHashTester.kernel_version == 3
         tester = IndependenceTester(4, 4, 0.4, q=50)
         assert tester.cache_token["kernel_version"] == 2
         kernel = LearningSuccessKernel(HitCountingLearner(8, 16, 1), delta=0.5)

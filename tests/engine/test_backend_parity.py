@@ -80,6 +80,36 @@ class TestEstimateParity:
 
 
 class TestCurveParity:
+    def test_accept_curves_bit_identical_for_graph_testers(self):
+        """Comparison-graph kernels (explicit-edge statistic, distinct
+        mode, network deployment) across every backend × width."""
+        testers = [
+            repro.ComparisonGraphTester(64, 0.4, repro.bipartite_graph(24)),
+            repro.ComparisonGraphTester(
+                64, 0.4, repro.matching_graph(24), mode="distinct"
+            ),
+            repro.NetworkUniformityTester(
+                repro.network.star_topology(6),
+                64,
+                0.4,
+                comparison_graph=repro.cycle_graph(12),
+            ),
+        ]
+        far = repro.two_level_distribution(64, 0.4)
+        for tester in testers:
+            with engine_context(backend=SerialBackend(), max_elements=100_000):
+                reference = chunked_accepts(tester, far, 320, rng=7)
+            for kind in KINDS:
+                for width in WIDTHS:
+                    backend = make_backend(width, kind=kind)
+                    with engine_context(backend=backend, max_elements=100_000):
+                        accepts = chunked_accepts(tester, far, 320, rng=7)
+                    assert np.array_equal(accepts, reference), (
+                        tester,
+                        kind,
+                        width,
+                    )
+
     def test_accept_curves_bit_identical_for_real_tester(self):
         tester = CentralizedCollisionTester(64, 0.4)
         far = repro.two_level_distribution(64, 0.4)

@@ -44,10 +44,20 @@ class TestAsKernel:
         assert as_kernel(kernel) is kernel
 
     def test_chunked_tester_wraps_in_tester_kernel(self):
-        tester = repro.CentralizedCollisionTester(N, EPS)
+        tester = repro.EmpiricalDistanceTester(N, EPS)
         kernel = as_kernel(tester)
         assert isinstance(kernel, _TesterKernel)
         assert isinstance(kernel, AcceptKernel)
+
+    def test_graph_testers_are_native_kernels(self):
+        """Since the comparison-graph refactor the collision tester carries
+        its own cache_token and passes through as_kernel unwrapped."""
+        for tester in (
+            repro.CentralizedCollisionTester(N, EPS),
+            repro.UniqueElementsTester(N, EPS),
+            repro.ComparisonGraphTester(N, EPS, repro.cycle_graph(24)),
+        ):
+            assert as_kernel(tester) is tester
 
     def test_protocol_tester_wraps_in_protocol_kernel(self):
         tester = repro.ThresholdRuleTester(N, EPS, k=8)

@@ -101,6 +101,15 @@ KERNEL_FACTORIES = {
     "learning-dither": lambda n, k: LearningSuccessKernel(
         repro.FrequencyDitheringLearner(n, k, 3), delta=2.0
     ),
+    "graph-cycle": lambda n, k: repro.ComparisonGraphTester(
+        n, EPS, repro.cycle_graph(3 * k)
+    ),
+    "graph-matching-distinct": lambda n, k: repro.ComparisonGraphTester(
+        n, EPS, repro.matching_graph(2 * k), mode="distinct"
+    ),
+    "network-graph": lambda n, k: repro.NetworkUniformityTester(
+        nx.path_graph(k), n, EPS, comparison_graph=repro.bipartite_graph(6)
+    ),
 }
 
 SIZES = ((8, 4), (32, 8), (64, 12))

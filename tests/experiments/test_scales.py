@@ -31,6 +31,7 @@ MODULES = {
     "e17": "repro.experiments.e17_network",
     "e18": "repro.experiments.e18_generalizations",
     "e19": "repro.experiments.e19_fault_tolerance",
+    "e20": "repro.experiments.e20_comparison_graphs",
 }
 
 

@@ -59,3 +59,31 @@ class ProtocolKernelPlayerLoop:
                 trials, player.width, rng
             ).sum(axis=1)
         return totals
+
+
+class GraphEdgeKernel:
+    """Comparison-graph statistic: fancy-indexed edge columns, one cut."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "graph", "graph": self.graph_hash}
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, self.num_vertices, rng)
+        collide = samples[:, self.edge_u] == samples[:, self.edge_v]
+        return collide.sum(axis=1).astype(np.int64) <= self.threshold
+
+
+class PerEdgeLoopKernel:
+    """Looping over the *edges* of a comparison graph is not a trial loop."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "per-edge"}
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, self.num_vertices, rng)
+        totals = np.zeros(trials, dtype=np.int64)
+        for u, v in self.edges:
+            totals += (samples[:, u] == samples[:, v]).astype(np.int64)
+        return totals <= self.threshold

@@ -58,3 +58,20 @@ class ProtocolKernelWithLoopedHelper:
                 for _ in range(trials)
             ]
         )
+
+
+class PerTrialGraphKernel:
+    """A comparison-graph statistic evaluated row by row is the smell."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "graph-looped"}
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, self.num_vertices, rng)
+        accepts = np.empty(trials, dtype=bool)
+        for index in range(trials):  # expect: RL303
+            row = samples[index]
+            statistic = int((row[self.edge_u] == row[self.edge_v]).sum())
+            accepts[index] = statistic <= self.threshold
+        return accepts

@@ -115,3 +115,26 @@ class AlignedBroadcastKernel:
         frequencies = (samples + offsets).astype(np.float64) / 5.0
         gaps = np.abs(frequencies - 0.5)
         return (gaps < 0.25).all(axis=1)
+
+
+class GraphStatisticKernel:
+    """The comparison-graph contract: q drawn per trial, the edge mask a
+    pure transform, int64 counts cut to a bool verdict."""
+
+    def __init__(self, num_vertices, num_edges):
+        self.num_vertices = num_vertices
+        self.num_edges = num_edges
+
+    @property
+    def cache_token(self):
+        return {"q": self.num_vertices, "m": self.num_edges}
+
+    @property
+    def elements_per_trial(self):
+        return self.num_vertices + self.num_edges
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, self.num_vertices, rng)
+        collide = samples[:, self.edge_u] == samples[:, self.edge_v]
+        counts = collide.sum(axis=1).astype(np.int64)
+        return counts <= self.threshold

@@ -87,3 +87,39 @@ class MisalignedKernel:
         right = rng.random((trials, 4))
         gap = left - right  # expect: RL804
         return gap.any(axis=1)
+
+
+class GraphCountReturnKernel:
+    """The matching-graph edge statistic itself is not a verdict."""
+
+    @property
+    def cache_token(self):
+        return {"kind": "graph-count"}
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, 8, rng)
+        paired = samples.reshape(trials, 4, 2)
+        collide = paired[:, :, 0] == paired[:, :, 1]
+        return collide.sum(axis=1)  # expect: RL801
+
+
+class DitheredGraphKernel:
+    """Boundary dither draws one uniform per trial beyond the declared q."""
+
+    def __init__(self, num_vertices):
+        self.num_vertices = num_vertices
+
+    @property
+    def cache_token(self):
+        return {"q": self.num_vertices}
+
+    @property
+    def elements_per_trial(self):  # expect: RL803
+        return self.num_vertices
+
+    def accept_block(self, distribution, trials, rng):
+        samples = distribution.sample_matrix(trials, self.num_vertices, rng)
+        collide = samples[:, self.edge_u] == samples[:, self.edge_v]
+        counts = collide.sum(axis=1).astype(np.int64)
+        dither = rng.random(trials)
+        return (counts < self.threshold) | (dither < self.gamma)

@@ -236,3 +236,50 @@ class TestSprtMode:
             empirical_sample_complexity(
                 factory, N, EPS, trials=100, rng=0, sprt=True, sprt_max_trials=0
             )
+
+
+class TestGraphFamilySweep:
+    def test_families_share_probes_and_are_deterministic(self):
+        from repro.stats import graph_family_complexity_sweep
+
+        a = graph_family_complexity_sweep(
+            ["complete", "matching"], 64, 0.6, trials=120, rng=4, sprt=True
+        )
+        b = graph_family_complexity_sweep(
+            ["complete", "matching"], 64, 0.6, trials=120, rng=4, sprt=True
+        )
+        assert list(a) == ["complete", "matching"]
+        for family in a:
+            assert a[family].resource_star == b[family].resource_star
+            assert a[family].curve == b[family].curve
+        # Dense K_q beats the pairwise-disjoint matching at equal (n, ε).
+        assert a["complete"].resource_star <= a["matching"].resource_star
+
+    def test_per_family_run_matches_standalone_search(self):
+        from repro.core.graphs import graph_tester_factory
+        from repro.stats import (
+            empirical_sample_complexity,
+            graph_family_complexity_sweep,
+        )
+
+        swept = graph_family_complexity_sweep(
+            ["cycle"], 64, 0.6, trials=120, rng=7, sprt=True
+        )["cycle"]
+        from repro.engine import derive_root_entropy
+
+        alone = empirical_sample_complexity(
+            graph_tester_factory("cycle", 64, 0.6),
+            n=64,
+            epsilon=0.6,
+            trials=120,
+            rng=derive_root_entropy(7),
+            sprt=True,
+        )
+        assert swept.resource_star == alone.resource_star
+        assert swept.curve == alone.curve
+
+    def test_rejects_empty_family_list(self):
+        from repro.stats import graph_family_complexity_sweep
+
+        with pytest.raises(InvalidParameterError):
+            graph_family_complexity_sweep([], 64, 0.6)
