@@ -1,0 +1,26 @@
+"""E21 benchmark — streaming memory budgets: q* vs sketch size."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e21_streaming_memory(benchmark, persist):
+    result = benchmark.pedantic(
+        lambda: run_experiment("e21", scale="small", seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    persist(result)
+
+    for row in result.rows:
+        # The exact tester anchors the curve and must always resolve;
+        # every sketched budget pays a compression penalty on top.
+        assert not row["exact_censored"], row
+        assert not row["b64_censored"], row
+        assert row["exact_q_star"] <= row["b64_q_star"], row
+    # Budgets below the memory floor censor — but the floor must be a
+    # floor: censored budgets form a suffix of the shrinking order.
+    assert result.summary["censoring_confined_to_tightest_budgets"]
+    # Sketch state is independent of n: 8·(B+1) + slack bytes.
+    assert len({row["b16_state_bytes"] for row in result.rows}) == 1
+    for row in result.rows:
+        assert row["b16_state_bytes"] < row["exact_state_bytes"]

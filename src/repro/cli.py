@@ -27,6 +27,14 @@ Four commands cover the common workflows:
       python -m repro run-all --scale smoke
       python -m repro run-all --scale small --workers 4 --resume
 
+* ``battery`` — run every registered streaming plugin over one shared
+  sample stream and report per-plugin verdict rates, trial counts and
+  peak state bytes (non-zero exit if any plugin breaks its declared
+  memory bound or diverges from its batch oracle)::
+
+      python -m repro battery --scale smoke
+      python -m repro battery --n 256 --eps 0.5 --input two_level
+
 * ``bounds`` — print every theorem lower bound at given parameters::
 
       python -m repro bounds --n 4096 --k 16 --eps 0.5
@@ -66,6 +74,13 @@ INPUT_CHOICES = ("uniform", "two_level", "paninski", "zipf", "heavy_hitter")
 
 #: Where ``--resume`` looks for sweep checkpoints when no directory is given.
 DEFAULT_CHECKPOINT_DIR = ".repro-checkpoints"
+
+#: Preset problem sizes for ``battery --scale`` (overridable per flag).
+BATTERY_SCALES = {
+    "smoke": {"n": 64, "trials": 200},
+    "small": {"n": 256, "trials": 1000},
+    "paper": {"n": 1024, "trials": 4000},
+}
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
@@ -282,6 +297,33 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_battery(args: argparse.Namespace) -> int:
+    from .core.battery import run_battery, render_battery
+
+    preset = BATTERY_SCALES[args.scale]
+    n = args.n if args.n is not None else preset["n"]
+    trials = args.trials if args.trials is not None else preset["trials"]
+    distribution = _build_input(args.input, n, args.eps, args.seed)
+    rows = run_battery(
+        n,
+        args.eps,
+        trials,
+        rng=args.seed,
+        distribution=distribution,
+        chunk=args.chunk,
+        only=args.only,
+    )
+    print(
+        f"battery: scale={args.scale} n={n} eps={args.eps} trials={trials} "
+        f"input={args.input} chunk={args.chunk}"
+    )
+    print(render_battery(rows))
+    healthy = all(row.within_bound and row.matches_batch_oracle for row in rows)
+    if not healthy:
+        print("battery: FAILED (memory bound or batch-oracle mismatch)", file=sys.stderr)
+    return 0 if healthy else 1
+
+
 def _cmd_bounds(args: argparse.Namespace) -> int:
     n, k, eps = args.n, args.k, args.eps
     print(f"paper lower bounds at n={n}, k={k}, eps={eps}:")
@@ -377,6 +419,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_options(run_all)
     _add_engine_options(run_all)
     run_all.set_defaults(func=_cmd_run_all)
+
+    battery = sub.add_parser(
+        "battery",
+        help="run every registered streaming plugin over one shared stream",
+    )
+    battery.add_argument(
+        "--scale",
+        choices=tuple(BATTERY_SCALES),
+        default="smoke",
+        help="preset (n, trials) size; --n/--trials override individually",
+    )
+    battery.add_argument("--n", type=int, default=None)
+    battery.add_argument("--eps", type=float, default=0.5)
+    battery.add_argument("--trials", type=int, default=None)
+    battery.add_argument("--input", choices=INPUT_CHOICES, default="uniform")
+    battery.add_argument("--seed", type=int, default=0)
+    battery.add_argument(
+        "--chunk",
+        type=int,
+        default=16,
+        help="stream column width per update() call",
+    )
+    battery.add_argument(
+        "--only", nargs="*", default=None, help="subset of plugin names"
+    )
+    battery.set_defaults(func=_cmd_battery)
 
     bounds = sub.add_parser("bounds", help="print the paper's lower bounds")
     bounds.add_argument("--n", type=int, default=4096)

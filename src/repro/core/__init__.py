@@ -16,6 +16,10 @@ and send a short message to a referee, who applies a decision rule:
   (the Theorem 1.4 counterpart).
 * :mod:`repro.core.tradeoffs` — the asymmetric sampling-rate model of
   Section 6.2.
+* :mod:`repro.core.streaming` / :mod:`repro.core.plugins` /
+  :mod:`repro.core.battery` — constant-memory streaming testers
+  (``init_state``/``update``/``finalize``), their plugin registry, and
+  the shared-stream battery runner (``python -m repro battery``).
 """
 
 from .referees import (
@@ -84,6 +88,23 @@ from .learning import (
     LearningSuccessKernel,
 )
 from .tradeoffs import AsymmetricRateTester, rate_profile_norm
+from .streaming import (
+    StreamingTester,
+    StreamingCollisionTester,
+    StreamingDistinctTester,
+    StreamingGraphTester,
+    calibrate_sketch_threshold,
+    measured_state_bytes,
+    run_streaming,
+)
+from .plugins import (
+    StreamingPlugin,
+    register_plugin,
+    registered_plugins,
+    plugin_names,
+    get_plugin,
+)
+from .battery import BatteryRow, render_battery, run_battery
 
 __all__ = [
     "DecisionRule",
@@ -151,4 +172,19 @@ __all__ = [
     "LearningSuccessKernel",
     "AsymmetricRateTester",
     "rate_profile_norm",
+    "StreamingTester",
+    "StreamingCollisionTester",
+    "StreamingDistinctTester",
+    "StreamingGraphTester",
+    "calibrate_sketch_threshold",
+    "measured_state_bytes",
+    "run_streaming",
+    "StreamingPlugin",
+    "register_plugin",
+    "registered_plugins",
+    "plugin_names",
+    "get_plugin",
+    "BatteryRow",
+    "render_battery",
+    "run_battery",
 ]

@@ -1,0 +1,138 @@
+"""The streaming battery: one shared sample stream, every plugin.
+
+Modeled on statistical test batteries (the SNIPPETS exemplar's
+SmallCrush adapter): draw **one** sample stream and feed it to every
+registered streaming plugin, so all verdict columns are computed on
+literally the same randomness and are directly comparable.  Per plugin
+the battery reports the accept rate, the declared per-trial state bound,
+the *measured* peak state (tracked after every chunk), whether the bound
+held, and whether streaming verdicts matched the plugin's pinned batch
+oracle bit-for-bit — the acceptance criteria of the streaming refactor,
+checked live on every run.
+
+The stream is ``(trials × q_max)`` where ``q_max`` is the largest
+per-plugin sample budget; a plugin with budget ``q`` consumes the first
+``q`` columns in ``chunk``-wide blocks.  ``python -m repro battery``
+drives this module from the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..distributions.discrete import DiscreteDistribution, uniform
+from ..exceptions import InvalidParameterError
+from ..rng import RngLike, ensure_rng
+from .plugins import StreamingPlugin, registered_plugins
+from .streaming import StreamingTester, measured_state_bytes
+
+#: Default chunk width (stream columns folded per update call).
+DEFAULT_CHUNK = 16
+
+
+@dataclass(frozen=True)
+class BatteryRow:
+    """One plugin's result over the shared stream."""
+
+    name: str
+    description: str
+    exact: bool
+    q: int
+    trials: int
+    accept_rate: float
+    state_bytes_declared: int
+    state_bytes_peak: int
+    within_bound: bool
+    matches_batch_oracle: bool
+
+
+def _run_plugin(
+    tester: StreamingTester,
+    plugin: StreamingPlugin,
+    stream: np.ndarray,
+    chunk: int,
+) -> BatteryRow:
+    trials = stream.shape[0]
+    matrix = stream[:, : tester.q]
+    state = tester.init_state(trials)
+    peak = measured_state_bytes(state)
+    for start in range(0, tester.q, chunk):
+        tester.update(state, matrix[:, start : start + chunk])
+        peak = max(peak, measured_state_bytes(state))
+    verdicts = tester.finalize(state)
+    peak_per_trial = -(-peak // trials)
+    return BatteryRow(
+        name=plugin.name,
+        description=plugin.description,
+        exact=plugin.exact,
+        q=tester.q,
+        trials=trials,
+        accept_rate=float(np.asarray(verdicts).mean()),
+        state_bytes_declared=int(tester.state_bytes),
+        state_bytes_peak=int(peak_per_trial),
+        within_bound=peak <= tester.state_bytes * trials,
+        matches_batch_oracle=bool(
+            np.array_equal(verdicts, tester.batch_verdicts(matrix))
+        ),
+    )
+
+
+def run_battery(
+    n: int,
+    epsilon: float,
+    trials: int,
+    rng: RngLike = 0,
+    distribution: Optional[DiscreteDistribution] = None,
+    chunk: int = DEFAULT_CHUNK,
+    only: Optional[List[str]] = None,
+) -> List[BatteryRow]:
+    """Run every registered plugin over one shared sample stream.
+
+    ``distribution`` defaults to ``uniform(n)`` (so exact plugins should
+    mostly accept); pass an ε-far input to see the reject side.  ``only``
+    restricts to a subset of plugin names.
+    """
+    if trials < 1:
+        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+    if chunk < 1:
+        raise InvalidParameterError(f"chunk must be >= 1, got {chunk}")
+    plugins = registered_plugins()
+    if only is not None:
+        unknown = sorted(set(only) - set(plugins))
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown streaming plugins {unknown}; registered: "
+                f"{list(plugins)}"
+            )
+        plugins = {name: plugins[name] for name in sorted(only)}
+    testers: Dict[str, StreamingTester] = {
+        name: plugin.factory(n, epsilon) for name, plugin in plugins.items()
+    }
+    q_max = max(tester.q for tester in testers.values())
+    source = distribution if distribution is not None else uniform(n)
+    stream = source.sample_matrix(trials, q_max, ensure_rng(rng))
+    return [
+        _run_plugin(testers[name], plugin, stream, chunk)
+        for name, plugin in plugins.items()
+    ]
+
+
+def render_battery(rows: List[BatteryRow]) -> str:
+    """Battery report as a fixed-width text table."""
+    header = (
+        f"{'plugin':<26} {'q':>7} {'trials':>7} {'accept':>7} "
+        f"{'state B':>8} {'peak B':>8} {'bound':>5} {'oracle':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<26} {row.q:>7} {row.trials:>7} "
+            f"{row.accept_rate:>7.3f} {row.state_bytes_declared:>8} "
+            f"{row.state_bytes_peak:>8} "
+            f"{'ok' if row.within_bound else 'OVER':>5} "
+            f"{'ok' if row.matches_batch_oracle else 'DIFF':>6}"
+        )
+    return "\n".join(lines)

@@ -27,13 +27,41 @@ All strategies implement a vectorised ``respond_batch`` over a
 from __future__ import annotations
 
 import math
+import warnings
 from abc import ABC, abstractmethod
-from typing import Sequence, Tuple
+from typing import Sequence, Set, Tuple
 
 import numpy as np
 
 from ..exceptions import InvalidParameterError
 from ..rng import RngLike, ensure_rng
+
+#: Legacy entry points that have already warned this process.
+_DEPRECATION_EMITTED: Set[str] = set()
+
+
+def _warn_legacy(name: str, replacement: str) -> None:
+    """Emit one ``DeprecationWarning`` per legacy entry point per process.
+
+    The legacy collision helpers survive as thin wrappers over the
+    comparison-graph layer (PR-9); warning once — not per call — keeps
+    Monte-Carlo loops that still construct thousands of players quiet
+    after the first notice.
+    """
+    if name in _DEPRECATION_EMITTED:
+        return
+    _DEPRECATION_EMITTED.add(name)
+    warnings.warn(
+        f"{name} is deprecated since the comparison-graph refactor: "
+        f"use {replacement} (repro.core.graphs) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Re-arm the once-per-process legacy warnings (test hook)."""
+    _DEPRECATION_EMITTED.clear()
 
 
 def _validate_sample_matrix(samples: np.ndarray) -> np.ndarray:
@@ -165,6 +193,10 @@ class CollisionBitPlayer(PlayerStrategy):
     """
 
     def __init__(self, threshold: float = 0):
+        _warn_legacy(
+            "CollisionBitPlayer",
+            "GraphStatisticPlayer(complete_graph(q), threshold)",
+        )
         if threshold < 0:
             raise InvalidParameterError(f"threshold must be >= 0, got {threshold}")
         self.threshold = float(threshold)
@@ -233,6 +265,10 @@ def calibrate_dithered_collision(
     :func:`~repro.core.graphs.calibrate_dithered_statistic` on the
     complete graph ``K_q`` — same draw order, bit-identical results.
     """
+    _warn_legacy(
+        "calibrate_dithered_collision",
+        "calibrate_dithered_statistic(complete_graph(q), ...)",
+    )
     if not 0.0 < target_alarm_rate <= 1.0:
         raise InvalidParameterError(
             f"target_alarm_rate must be in (0,1], got {target_alarm_rate}"
@@ -349,6 +385,10 @@ def calibrate_collision_threshold(
     complete graph ``K_q`` — same exact-birthday shortcut, same draw
     order, bit-identical results.
     """
+    _warn_legacy(
+        "calibrate_collision_threshold",
+        "calibrate_statistic_threshold(complete_graph(q), ...)",
+    )
     if not 0.0 < max_reject_probability <= 1.0:
         raise InvalidParameterError(
             f"max_reject_probability must be in (0,1], got {max_reject_probability}"

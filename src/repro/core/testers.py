@@ -45,6 +45,7 @@ from ..rng import RngLike, ensure_rng
 from .base import TesterResources, UniformityTester
 from .graphs import (
     ComparisonGraphTester,
+    GraphStatisticPlayer,
     complete_graph,
     graph_statistic_block,
     midpoint_threshold,
@@ -53,7 +54,7 @@ from .graphs import (
     calibrate_statistic_threshold,
     worst_case_statistic_proxy,
 )
-from .players import CollisionBitPlayer, DitheredCollisionBitPlayer
+from .players import DitheredCollisionBitPlayer
 from .protocol import SimultaneousProtocol
 from .referees import AndRule, ThresholdRule
 
@@ -290,7 +291,12 @@ class ThresholdRuleTester(UniformityTester):
             )
             return
 
-        player = CollisionBitPlayer(threshold=self.player_collision_threshold)
+        # Internal construction goes through the graph player (the legacy
+        # CollisionBitPlayer now warns); on K_q the responses are
+        # bit-identical.
+        player = GraphStatisticPlayer(
+            player_graph, self.player_collision_threshold
+        )
         referee = ThresholdRule(self.reject_threshold, num_players=self.k)
         self._protocol = SimultaneousProtocol.homogeneous(
             player, self.k, self.q, referee
@@ -348,7 +354,7 @@ class AndRuleTester(UniformityTester):
         )
         self.player_collision_threshold = threshold
         self.player_reject_probability = estimate
-        player = CollisionBitPlayer(threshold=threshold)
+        player = GraphStatisticPlayer(complete_graph(self.q), float(threshold))
         self._protocol = SimultaneousProtocol.homogeneous(
             player, self.k, self.q, AndRule(num_players=self.k)
         )

@@ -19,7 +19,8 @@ import numpy as np
 from ..distributions.discrete import DiscreteDistribution
 from ..exceptions import InvalidParameterError
 from ..rng import RngLike
-from .players import CollisionBitPlayer
+from .graphs import GraphStatisticPlayer, complete_graph
+from .players import ConstantPlayer
 from .protocol import Player, SimultaneousProtocol
 from .referees import WeightedCountRule
 from .testers import TesterResources, UniformityTester
@@ -106,8 +107,16 @@ class AsymmetricRateTester(UniformityTester):
         reject_cutoff = 0.5 * (uniform_alarms + far_alarms)
 
         k = rate_arr.size
+        # q < 2 slots see no sample pairs, so the legacy collision bit was
+        # identically 1 — ConstantPlayer(1) keeps that bit-exact; richer
+        # slots go through the graph player (K_q, same responses).
         players = [
-            Player(CollisionBitPlayer(threshold=thresholds_by_q[q]), q)
+            Player(
+                GraphStatisticPlayer(complete_graph(q), thresholds_by_q[q])
+                if q >= 2
+                else ConstantPlayer(1),
+                q,
+            )
             for q in self.sample_counts
         ]
         # Accept iff (# accept bits) > k - cutoff, i.e. (# alarms) < cutoff.

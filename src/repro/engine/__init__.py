@@ -50,6 +50,7 @@ from .kernels import (
     AcceptKernel,
     BernoulliKernel,
     ProtocolKernel,
+    StreamingKernel,
     TesterKernel,
     as_kernel,
     kernel_label,
@@ -80,6 +81,7 @@ __all__ = [
     "BernoulliKernel",
     "TesterKernel",
     "ProtocolKernel",
+    "StreamingKernel",
     "as_kernel",
     "kernel_label",
     "AcceptanceEstimate",

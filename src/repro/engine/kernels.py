@@ -229,6 +229,101 @@ class ProtocolKernel:
         return f"ProtocolKernel({type(self._owner).__name__})"
 
 
+class StreamingKernel:
+    """Adapter lifting a streaming tester (``init_state``/``update``/
+    ``finalize``) onto the kernel protocol.
+
+    Two draw modes:
+
+    * ``draw="matrix"`` (default) — one ``sample_matrix(trials, q)``
+      per block, streamed through ``update`` in column chunks.  The
+      flat draw is identical to the batch testers', and streaming
+      verdicts are partition-invariant, so results are **bit-identical
+      to the batch counterpart** for any chunk width; the chunk width
+      is therefore deliberately *absent* from the cache token.
+    * ``draw="chunked"`` — each chunk is its own
+      ``sample_matrix(trials, w)`` draw, so total memory stays bounded
+      by the chunk (true constant-memory streaming).  The element
+      *assignment* differs from the batch draw order, so the token
+      carries the draw mode and chunk width and equivalence is pinned
+      to the streaming tester's own batch oracle, not the batch tester.
+    """
+
+    def __init__(
+        self, streaming: Any, chunk: int | None = None, draw: str = "matrix"
+    ):
+        for member in ("init_state", "update", "finalize"):
+            if not hasattr(streaming, member):
+                raise InvalidParameterError(
+                    f"{type(streaming).__name__} has no {member}; not a "
+                    "streaming tester"
+                )
+        if draw not in ("matrix", "chunked"):
+            raise InvalidParameterError(
+                f"draw must be 'matrix' or 'chunked', got {draw!r}"
+            )
+        if chunk is not None and chunk < 1:
+            raise InvalidParameterError(f"chunk must be >= 1, got {chunk}")
+        if draw == "chunked" and chunk is None:
+            raise InvalidParameterError(
+                "draw='chunked' requires an explicit chunk width"
+            )
+        self.streaming = streaming
+        self.chunk = None if chunk is None else int(chunk)
+        self.draw = draw
+
+    @property
+    def cache_token(self) -> Dict[str, Any]:
+        token = dict(self.streaming.cache_token)
+        token.setdefault("schema", KERNEL_SCHEMA_VERSION)
+        token.setdefault("kind", "streaming")
+        if self.draw == "chunked":
+            # Chunked draws change the element assignment, hence the
+            # acceptance curve; matrix draws are chunk-invariant.
+            token["draw"] = "chunked"
+            token["chunk"] = int(self.chunk or 0)
+        return token
+
+    @property
+    def elements_per_trial(self) -> int:
+        q = int(self.streaming.q)
+        state_elements = (int(self.streaming.state_bytes) + 7) // 8
+        if self.draw == "chunked":
+            return max(1, int(self.chunk or 1)) + state_elements
+        return q + state_elements
+
+    def accept_block(
+        self, distribution: Any, trials: int, rng: RngLike = None
+    ) -> BoolArray:
+        generator = ensure_rng(rng)
+        q = int(self.streaming.q)
+        state = self.streaming.init_state(trials)
+        if self.draw == "matrix":
+            matrix = distribution.sample_matrix(trials, q, generator)
+            width = q if self.chunk is None else self.chunk
+            for start in range(0, q, width):
+                self.streaming.update(state, matrix[:, start : start + width])
+        else:
+            width = int(self.chunk or q)
+            for start in range(0, q, width):
+                block = distribution.sample_matrix(
+                    trials, min(width, q - start), generator
+                )
+                self.streaming.update(state, block)
+        return np.asarray(self.streaming.finalize(state), dtype=bool)
+
+    def __repr__(self) -> str:
+        return f"StreamingKernel({self.streaming!r}, draw={self.draw})"
+
+
+def _is_streaming(obj: Any) -> bool:
+    return (
+        hasattr(obj, "init_state")
+        and hasattr(obj, "update")
+        and hasattr(obj, "finalize")
+    )
+
+
 def _satisfies_protocol(obj: Any) -> bool:
     return (
         hasattr(obj, "accept_block")
@@ -240,14 +335,18 @@ def _satisfies_protocol(obj: Any) -> bool:
 def as_kernel(obj: Any) -> AcceptKernel:
     """Lift any simulatable object onto the :class:`AcceptKernel` protocol.
 
-    Resolution order: native kernels pass through; chunked testers are
-    wrapped in :class:`TesterKernel`; protocol-backed testers (and raw
-    protocols) get a :class:`ProtocolKernel`.  Anything else is an error —
-    there is deliberately no fallback that would hide a sequential-RNG
-    estimator from the engine's determinism contract.
+    Resolution order: native kernels pass through; streaming testers
+    (``init_state``/``update``/``finalize``) are wrapped in
+    :class:`StreamingKernel`; chunked testers are wrapped in
+    :class:`TesterKernel`; protocol-backed testers (and raw protocols)
+    get a :class:`ProtocolKernel`.  Anything else is an error — there is
+    deliberately no fallback that would hide a sequential-RNG estimator
+    from the engine's determinism contract.
     """
     if _satisfies_protocol(obj):
         return obj  # type: ignore[no-any-return]
+    if _is_streaming(obj):
+        return StreamingKernel(obj)
     if hasattr(obj, "accept_block") and hasattr(obj, "resources"):
         return TesterKernel(obj)
     if (hasattr(obj, "players") and hasattr(obj, "referee")) or hasattr(

@@ -74,6 +74,11 @@ PAPER_CLAIMS: Dict[str, str] = {
     "count — Θ(q²)-edge families (complete, bipartite) achieve the "
     "centralized q* = Θ(√n/ε²) rate, while Θ(q)-edge families (matching, "
     "cycle, star, 3-regular) pay q* = Θ(n/ε⁴).",
+    "e21": "Streaming testing (arXiv 1906.04709, cf. §1 here): the collision "
+    "statistic runs in O(B) state by hashing the domain into B buckets, at "
+    "the price of contracting the alternative's distance to ≈ ε·√(B/n) — so "
+    "q* grows as the memory budget shrinks, and below a floor the sketch "
+    "cannot test at all (the search censors at q_max).",
 }
 
 

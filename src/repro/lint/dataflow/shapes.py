@@ -3,8 +3,12 @@
 Every estimator in the library flows through one vectorized contract —
 ``accept_block(distribution, trials, rng) -> bool[trials]`` — plus an
 ``elements_per_trial`` sizing hint the tiler trusts for memory bounds
-(:mod:`repro.engine.chunking`).  This module verifies that contract
-statically with an abstract interpreter over the statement CFG
+(:mod:`repro.engine.chunking`).  The streaming layer adds a second hot
+surface — the ``update`` / ``finalize`` methods of
+:class:`~repro.core.streaming.StreamingTester`-shaped classes, audited
+under the same dtype/broadcast checks (their state arrays are
+cache-adjacent via ``StreamingKernel``).  This module verifies those
+contracts statically with an abstract interpreter over the statement CFG
 (:mod:`.cfg`), mirroring the RL6xx/RL7xx architecture: one pass per
 function, callees first, producing a :class:`ShapeSummary` so helper
 functions (``collision_counts``, ``_statistics``) stay transparent at
@@ -435,6 +439,28 @@ def is_accept_kernel_class(node: ast.ClassDef) -> bool:
     return "accept_block" in defined and "cache_token" in defined
 
 
+#: Hot methods of a streaming tester, audited like ``*_block`` kernels:
+#: ``update`` folds a sample block into per-trial state every chunk of
+#: every trial, ``finalize`` reads the verdicts off the state.
+STREAMING_HOT_METHODS = frozenset({"update", "update_block", "finalize"})
+
+
+def is_streaming_tester_class(node: ast.ClassDef) -> bool:
+    """Structural StreamingTester check (the ``as_kernel`` duck shape).
+
+    A class defining ``init_state``, ``update`` and ``finalize`` is
+    adapter-registrable through
+    :class:`~repro.engine.kernels.StreamingKernel`, so its hot methods
+    get the same dtype/shape audit as batch kernels.
+    """
+    defined = {
+        stmt.name
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    return {"init_state", "update", "finalize"} <= defined
+
+
 def _is_accept_like(name: str) -> bool:
     return name == "accept_block" or name.endswith("accept_block")
 
@@ -537,12 +563,21 @@ class _ShapeInterp:
         in_kernel_class = self.cls is not None and is_accept_kernel_class(
             self.cls.node
         )
-        self._is_block = is_kernel_function(name) or (
-            in_kernel_class and name.endswith("_block")
+        in_streaming_class = self.cls is not None and is_streaming_tester_class(
+            self.cls.node
+        )
+        self._is_block = (
+            is_kernel_function(name)
+            or (in_kernel_class and name.endswith("_block"))
+            # Streaming hot methods take state instead of a trials
+            # parameter, so the RL801 return-shape check self-gates on
+            # the missing ``trials``; the dtype (RL802) and broadcast
+            # (RL804) audits apply in full.
+            or (in_streaming_class and name in STREAMING_HOT_METHODS)
         )
         #: RL802 also audits cache-keyed data on kernel classes.
         self._dtype_scope = self._is_block or (
-            in_kernel_class and name == "cache_token"
+            (in_kernel_class or in_streaming_class) and name == "cache_token"
         )
         args = self.function.args
         self._params = [arg.arg for arg in args.posonlyargs + args.args]

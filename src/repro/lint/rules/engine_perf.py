@@ -18,7 +18,14 @@ alike) inside batch kernels, recognised three ways:
 * any ``*_block`` method of a class that implements the
   :class:`~repro.engine.kernels.AcceptKernel` protocol (defines both
   ``accept_block`` and ``cache_token``) — such classes are registered
-  with the engine, so every block method on them is hot-path.
+  with the engine, so every block method on them is hot-path;
+* the ``update`` / ``update_block`` / ``finalize`` methods of a
+  streaming-tester-shaped class (defines ``init_state``, ``update`` and
+  ``finalize`` — the :class:`~repro.core.streaming.StreamingTester`
+  duck check mirrored by ``as_kernel``).  ``update`` runs once per
+  sample block of every trial, so besides trial-indexed loops the rule
+  also flags loops that iterate the incoming sample block itself (the
+  per-*sample* Python loop the streaming contract bans).
 
 Fallback loops over third-party objects that expose no batch API are
 likewise allowed via pragma with a justification.
@@ -41,10 +48,42 @@ ComprehensionNode = Union[ast.GeneratorExp, ast.ListComp, ast.SetComp]
 #: wherever it is defined.
 KERNEL_BLOCK_NAMES = ("accept_block", "l1_errors_block")
 
+#: Hot methods of a streaming-tester-shaped class: ``update`` folds one
+#: sample block into per-trial state, ``finalize`` reads the verdicts.
+STREAMING_HOT_METHODS = ("update", "update_block", "finalize")
+
+#: The streaming hot methods that receive a sample block (and therefore
+#: must not iterate it sample-by-sample).
+STREAMING_BLOCK_METHODS = ("update", "update_block")
+
 
 def _is_kernel_function(name: str) -> bool:
     """Whether ``name`` is a batch-kernel entry point (or named variant)."""
     return any(name == base or name.endswith(base) for base in KERNEL_BLOCK_NAMES)
+
+
+def _is_streaming_tester_class(node: ast.ClassDef) -> bool:
+    """Whether ``node`` is streaming-tester-shaped.
+
+    Mirrors the ``as_kernel`` duck check for
+    :class:`~repro.core.streaming.StreamingTester`: a class defining
+    ``init_state``, ``update`` and ``finalize`` is adapter-registrable,
+    so its update/finalize methods are hot-path.
+    """
+    defined = {
+        stmt.name
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    return {"init_state", "update", "finalize"} <= defined
+
+
+def _mentions_name(node: ast.expr, names: frozenset) -> bool:
+    """Whether an expression references any of ``names``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in names:
+            return True
+    return False
 
 
 def _is_accept_kernel_class(node: ast.ClassDef) -> bool:
@@ -70,19 +109,40 @@ class _KernelLoopCollector(ast.NodeVisitor):
         self.offenders: List[ast.AST] = []
         self._kernel_depth = 0
         self._kernel_class_depth = 0
+        self._streaming_class_depth = 0
+        # Stack of active sample-block parameter-name sets, one frame per
+        # enclosing streaming update method (empty set elsewhere).
+        self._block_params: List[frozenset] = [frozenset()]
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         inside = _is_accept_kernel_class(node)
+        streaming = _is_streaming_tester_class(node)
         self._kernel_class_depth += inside
+        self._streaming_class_depth += streaming
         self.generic_visit(node)
         self._kernel_class_depth -= inside
+        self._streaming_class_depth -= streaming
 
     def _visit_function(self, node: ast.AST, name: str) -> None:
-        inside = _is_kernel_function(name) or (
-            self._kernel_class_depth > 0 and name.endswith("_block")
+        streaming_hot = (
+            self._streaming_class_depth > 0 and name in STREAMING_HOT_METHODS
         )
+        inside = (
+            _is_kernel_function(name)
+            or (self._kernel_class_depth > 0 and name.endswith("_block"))
+            or streaming_hot
+        )
+        block_names: frozenset = frozenset()
+        if streaming_hot and name in STREAMING_BLOCK_METHODS:
+            # update(self, state, sample_block, ...): every positional
+            # parameter past the state carries sample data.
+            args = node.args
+            positional = [arg.arg for arg in args.posonlyargs + args.args]
+            block_names = frozenset(positional[2:])
         self._kernel_depth += inside
+        self._block_params.append(block_names)
         self.generic_visit(node)
+        self._block_params.pop()
         self._kernel_depth -= inside
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -91,14 +151,21 @@ class _KernelLoopCollector(ast.NodeVisitor):
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._visit_function(node, node.name)
 
+    def _is_hot_loop_iter(self, iter_node: ast.expr) -> bool:
+        if _is_trial_range(iter_node):
+            return True
+        return bool(self._block_params[-1]) and _mentions_name(
+            iter_node, self._block_params[-1]
+        )
+
     def visit_For(self, node: ast.For) -> None:
-        if self._kernel_depth and _is_trial_range(node.iter):
+        if self._kernel_depth and self._is_hot_loop_iter(node.iter):
             self.offenders.append(node)
         self.generic_visit(node)
 
     def _visit_comprehension(self, node: ComprehensionNode) -> None:
         if self._kernel_depth and any(
-            _is_trial_range(gen.iter) for gen in node.generators
+            self._is_hot_loop_iter(gen.iter) for gen in node.generators
         ):
             self.offenders.append(node)
         self.generic_visit(node)
@@ -119,10 +186,12 @@ class EnginePerf(Rule):
     # correctness break — unlike every other family.
     default_severity = "warning"
     rationale = (
-        "accept_block, l1_errors_block, and the *_block methods of "
-        "AcceptKernel-protocol classes are the engine's hot path; a "
-        "Python loop over trials costs one interpreter round-trip per "
-        "trial and defeats the parallel backends' dispatch amortisation.  "
+        "accept_block, l1_errors_block, the *_block methods of "
+        "AcceptKernel-protocol classes, and the update/finalize methods "
+        "of streaming testers are the engine's hot path; a Python loop "
+        "over trials (or over the incoming sample block) costs one "
+        "interpreter round-trip per element and defeats the parallel "
+        "backends' dispatch amortisation.  "
         "Batch the trial axis with NumPy (sample matrices, offset "
         "bincounts, row-wise statistics); per-trial fallbacks for "
         "third-party objects with no batch API need an explicit pragma."
@@ -135,6 +204,6 @@ class EnginePerf(Rule):
             yield self.diag(
                 ctx,
                 node,
-                "per-trial loop in a batch kernel; vectorize the trial axis "
-                "(or pragma a justified third-party fallback)",
+                "per-trial/per-sample loop in a batch kernel; vectorize the "
+                "trial axis (or pragma a justified third-party fallback)",
             )

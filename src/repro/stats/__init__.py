@@ -16,6 +16,7 @@ from .complexity import (
     empirical_sample_complexity_sequential,
     empirical_player_complexity,
     graph_family_complexity_sweep,
+    streaming_memory_complexity_sweep,
     success_at,
 )
 from .fitting import PowerLawFit, fit_power_law
@@ -32,6 +33,7 @@ __all__ = [
     "empirical_sample_complexity_sequential",
     "empirical_player_complexity",
     "graph_family_complexity_sweep",
+    "streaming_memory_complexity_sweep",
     "success_at",
     "PowerLawFit",
     "fit_power_law",

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -45,10 +45,18 @@ class SampleComplexityResult:
     curve: Dict[int, float] = field(default_factory=dict)
     bracket_low: int = 0
     bracket_high: int = 0
+    #: True when the search hit its resource cap without reaching the
+    #: target — ``resource_star`` is then the cap, a lower bound on the
+    #: true q* (used by the memory-budget sweep, where an under-sized
+    #: sketch can be *unable* to distinguish some adversarial input).
+    censored: bool = False
 
     def __repr__(self) -> str:
+        star = f"resource*={self.resource_star}"
+        if self.censored:
+            star += " (censored at cap)"
         return (
-            f"SampleComplexityResult(resource*={self.resource_star}, "
+            f"SampleComplexityResult({star}, "
             f"target={self.target:.3f}, evaluated={sorted(self.curve)})"
         )
 
@@ -555,6 +563,92 @@ def graph_family_complexity_sweep(
             sprt_error_rate=sprt_error_rate,
             sprt_max_trials=sprt_max_trials,
         )
+    return results
+
+
+def streaming_memory_complexity_sweep(
+    budgets: Sequence[Optional[int]],
+    n: int,
+    epsilon: float,
+    trials: int = 300,
+    target: float = 2.0 / 3.0,
+    margin: float = 0.04,
+    q_min: int = 2,
+    q_max: int = 1_000_000,
+    resolution_factor: float = 1.10,
+    far_distributions: Optional[Sequence[DiscreteDistribution]] = None,
+    rng: RngLike = None,
+    calibration_trials: int = 3000,
+    sprt: bool = False,
+    sprt_margin: float = 0.05,
+    sprt_error_rate: float = 0.05,
+    sprt_max_trials: Optional[int] = None,
+) -> Dict[str, SampleComplexityResult]:
+    """q* of the streaming collision tester per state-size budget.
+
+    Each ``budget`` is a bucket count ``B`` for
+    :class:`~repro.core.streaming.StreamingCollisionTester` — the
+    tester's per-trial state is ``8·(B+1)`` bytes regardless of ``n`` —
+    or ``None`` for the exact (``B = n``) statistic, whose verdicts are
+    bit-identical to the batch collision tester.  As with
+    :func:`graph_family_complexity_sweep`, one root entropy is derived
+    up front and shared by every budget's search, so the q* values are
+    directly comparable and bit-deterministic across engine backends and
+    worker counts.  Returns ``{label: result}`` with labels ``"exact"``
+    or ``"b<B>"``, in the order given.
+
+    A budget can be *too small to test at all*: hashing the domain into
+    few buckets may collapse an adversarial alternative onto the
+    uniform distribution, so no sample count reaches the target.  Such
+    searches are returned **censored** (``censored=True``,
+    ``resource_star = q_max``) rather than raised — the sweep's point is
+    exactly to locate that memory floor.
+    """
+    from ..core.streaming import StreamingCollisionTester
+    from ..engine import derive_root_entropy
+
+    if not budgets:
+        raise InvalidParameterError("need at least one memory budget")
+    root_entropy = derive_root_entropy(rng)
+    results: Dict[str, SampleComplexityResult] = {}
+    for budget in budgets:
+        label = "exact" if budget is None else f"b{int(budget)}"
+        if label in results:
+            raise InvalidParameterError(f"duplicate memory budget {label!r}")
+
+        def factory(q: int, _buckets: Optional[int] = budget) -> Any:
+            return StreamingCollisionTester(
+                n,
+                epsilon,
+                q=q,
+                num_buckets=_buckets,
+                calibration_trials=calibration_trials,
+            )
+
+        try:
+            results[label] = empirical_sample_complexity(
+                factory,
+                n=n,
+                epsilon=epsilon,
+                trials=trials,
+                target=target,
+                margin=margin,
+                q_min=q_min,
+                q_max=q_max,
+                resolution_factor=resolution_factor,
+                far_distributions=far_distributions,
+                rng=root_entropy,
+                sprt=sprt,
+                sprt_margin=sprt_margin,
+                sprt_error_rate=sprt_error_rate,
+                sprt_max_trials=sprt_max_trials,
+            )
+        except SearchDivergedError:
+            results[label] = SampleComplexityResult(
+                resource_star=int(q_max),
+                target=target + margin,
+                censored=True,
+            )
     return results
 
 

@@ -213,3 +213,70 @@ def test_point_mass_always_collides(seed):
     player = CollisionBitPlayer(threshold=0)
     samples = point_mass(8, 3).sample_matrix(10, 4, seed)
     assert (player.respond_batch(samples) == 0).all()
+
+
+class TestLegacyDeprecations:
+    """PR-9 legacy collision wrappers warn once, pointing at the graph API."""
+
+    def _reset(self):
+        from repro.core.players import reset_deprecation_warnings
+
+        reset_deprecation_warnings()
+
+    def test_collision_bit_player_warns_exactly_once(self):
+        import warnings
+
+        self._reset()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            CollisionBitPlayer(threshold=1.0)
+            CollisionBitPlayer(threshold=2.0)
+        deprecations = [
+            entry for entry in caught
+            if issubclass(entry.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "GraphStatisticPlayer" in message
+        assert "complete_graph" in message
+
+    def test_calibration_wrappers_warn_with_graph_replacement(self):
+        import warnings
+
+        from repro.core.players import (
+            calibrate_collision_threshold,
+            calibrate_dithered_collision,
+        )
+
+        for callable_, kwargs in (
+            (
+                calibrate_collision_threshold,
+                dict(n=32, q=6, max_reject_probability=0.3, trials=120, rng=0),
+            ),
+            (
+                calibrate_dithered_collision,
+                dict(n=32, q=6, target_alarm_rate=0.3, trials=120, rng=0),
+            ),
+        ):
+            self._reset()
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                callable_(**kwargs)
+            deprecations = [
+                entry for entry in caught
+                if issubclass(entry.category, DeprecationWarning)
+            ]
+            assert len(deprecations) == 1, callable_.__name__
+            assert "graph" in str(deprecations[0].message).lower()
+
+    def test_library_paths_stay_warning_free(self):
+        """Internal testers route through the graph player, never the legacy one."""
+        import warnings
+
+        from repro.core.testers import ThresholdRuleTester
+
+        self._reset()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            tester = ThresholdRuleTester(32, 0.5, 4, calibration_trials=200)
+            tester.accept_batch(uniform(32), 20, 0)

@@ -1,0 +1,287 @@
+"""Streaming layer: batch equivalence, partition invariance, memory bounds.
+
+The streaming contract promises three things the batch layer can check:
+
+* every registered plugin's streamed verdicts are **bit-identical** to
+  its batch counterpart (exact plugins) or to its own batch oracle
+  (sketched plugins) on the same sample matrix — across every engine
+  backend and worker count;
+* verdicts are invariant to how the stream is chunked;
+* the state never exceeds the declared per-trial ``state_bytes`` bound,
+  and that bound does not grow with the universe size ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import UniqueElementsTester
+from repro.core.graphs import (
+    GRAPH_FAMILIES,
+    ComparisonGraphTester,
+    complete_graph,
+    graph_statistic_block,
+    snap_family_size,
+)
+from repro.core.players import collision_counts, unique_counts
+from repro.core.plugins import registered_plugins
+from repro.core.streaming import (
+    StreamingCollisionTester,
+    StreamingDistinctTester,
+    StreamingGraphTester,
+    StreamingTester,
+    measured_state_bytes,
+    run_streaming,
+    sketch_buckets,
+)
+from repro.core.testers import CentralizedCollisionTester
+from repro.distributions.discrete import uniform
+from repro.distributions.generators import two_level_distribution
+from repro.engine import (
+    StreamingKernel,
+    as_kernel,
+    close_warm_backends,
+    engine_context,
+    estimate_acceptance,
+    make_backend,
+)
+from repro.exceptions import InvalidParameterError
+from repro.rng import ensure_rng
+
+N, EPS = 64, 0.6
+CHUNKS = (1, 2, 5, 16, None)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _drain_warm_pools():
+    yield
+    close_warm_backends()
+
+
+def _matrix(q, trials=200, seed=7, far=False):
+    source = two_level_distribution(N, EPS) if far else uniform(N)
+    return source.sample_matrix(trials, q, ensure_rng(seed))
+
+
+class TestStreamingCollision:
+    def test_bit_identical_to_centralized_batch(self):
+        batch = CentralizedCollisionTester(N, EPS)
+        streaming = StreamingCollisionTester(N, EPS)
+        assert streaming.q == batch.q
+        assert streaming.statistic_threshold == batch.statistic_threshold
+        for far in (False, True):
+            matrix = _matrix(streaming.q, far=far)
+            expected = collision_counts(matrix) <= batch.statistic_threshold
+            assert np.array_equal(run_streaming(streaming, matrix), expected)
+
+    def test_partition_invariance(self):
+        streaming = StreamingCollisionTester(N, EPS)
+        matrix = _matrix(streaming.q)
+        reference = run_streaming(streaming, matrix, 1)
+        for chunk in CHUNKS:
+            assert np.array_equal(
+                run_streaming(streaming, matrix, chunk), reference
+            )
+
+    def test_sketched_matches_its_batch_oracle(self):
+        streaming = StreamingCollisionTester(
+            N, EPS, num_buckets=16, calibration_trials=300
+        )
+        matrix = _matrix(streaming.q)
+        verdicts = run_streaming(streaming, matrix, 3)
+        assert np.array_equal(verdicts, streaming.batch_verdicts(matrix))
+        np.testing.assert_array_equal(
+            streaming.batch_statistic(matrix),
+            np.fromiter(
+                (
+                    (np.bincount(row) * (np.bincount(row) - 1) // 2).sum()
+                    for row in sketch_buckets(matrix, 16)
+                ),
+                dtype=np.int64,
+            ),
+        )
+
+
+class TestStreamingDistinct:
+    def test_bit_identical_to_unique_elements_batch(self):
+        batch = UniqueElementsTester(N, EPS)
+        streaming = StreamingDistinctTester(N, EPS)
+        assert streaming.q == batch.q
+        assert streaming.statistic_threshold == batch.statistic_threshold
+        for far in (False, True):
+            matrix = _matrix(streaming.q, far=far)
+            expected = unique_counts(matrix) >= batch.statistic_threshold
+            assert np.array_equal(run_streaming(streaming, matrix), expected)
+
+    def test_sketched_oracle_and_partition_invariance(self):
+        streaming = StreamingDistinctTester(
+            N, EPS, num_buckets=16, calibration_trials=300
+        )
+        matrix = _matrix(streaming.q)
+        reference = run_streaming(streaming, matrix, 1)
+        for chunk in CHUNKS:
+            assert np.array_equal(
+                run_streaming(streaming, matrix, chunk), reference
+            )
+        assert np.array_equal(reference, streaming.batch_verdicts(matrix))
+
+
+class TestStreamingGraph:
+    @pytest.mark.parametrize("family", sorted(GRAPH_FAMILIES))
+    @pytest.mark.parametrize("mode", ("edges", "distinct"))
+    def test_bit_identical_to_graph_tester(self, family, mode):
+        q = snap_family_size(family, 12)
+        graph = GRAPH_FAMILIES[family](q)
+        batch = ComparisonGraphTester(
+            N, EPS, graph, mode=mode, calibration_trials=300
+        )
+        streaming = StreamingGraphTester(
+            N, EPS, graph, mode=mode, calibration_trials=300
+        )
+        assert streaming.statistic_threshold == batch.statistic_threshold
+        matrix = _matrix(q, far=True)
+        statistics = graph_statistic_block(graph, matrix, mode)
+        if mode == "distinct":
+            expected = statistics >= batch.statistic_threshold
+        else:
+            expected = statistics <= batch.statistic_threshold
+        for chunk in (1, 3, None):
+            assert np.array_equal(
+                run_streaming(streaming, matrix, chunk), expected
+            )
+
+
+class TestPluginBatchEquivalence:
+    """Every registered plugin, streamed vs batch, across real backends."""
+
+    @pytest.mark.parametrize(
+        "plugin", registered_plugins().values(), ids=lambda p: p.name
+    )
+    def test_streamed_equals_batch_on_shared_stream(self, plugin):
+        tester = plugin.factory(N, EPS)
+        matrix = _matrix(tester.q, far=True)
+        batch = tester.batch_verdicts(matrix)
+        for chunk in CHUNKS:
+            assert np.array_equal(run_streaming(tester, matrix, chunk), batch)
+
+    @pytest.mark.parametrize("kind", ("serial", "process", "shm"))
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_kernel_estimates_match_serial_reference(self, kind, workers):
+        if kind == "serial" and workers > 1:
+            pytest.skip("serial backend is single-worker")
+        references = {}
+        for plugin in registered_plugins().values():
+            kernel = as_kernel(plugin.factory(N, EPS))
+            assert isinstance(kernel, StreamingKernel)
+            references[plugin.name] = estimate_acceptance(
+                kernel, uniform(N), trials=300, rng=11
+            )
+        backend = make_backend(workers, kind=kind, fresh=True)
+        try:
+            with engine_context(backend=backend):
+                for plugin in registered_plugins().values():
+                    kernel = as_kernel(plugin.factory(N, EPS))
+                    estimate = estimate_acceptance(
+                        kernel, uniform(N), trials=300, rng=11
+                    )
+                    reference = references[plugin.name]
+                    assert estimate.successes == reference.successes
+                    assert estimate.rate == reference.rate
+        finally:
+            backend.close()
+
+
+class TestMemoryBounds:
+    @pytest.mark.parametrize(
+        "plugin", registered_plugins().values(), ids=lambda p: p.name
+    )
+    def test_peak_state_within_declared_bound(self, plugin):
+        tester = plugin.factory(N, EPS)
+        trials = 64
+        matrix = _matrix(tester.q, trials=trials)
+        state = tester.init_state(trials)
+        peak = measured_state_bytes(state)
+        for start in range(0, tester.q, 4):
+            tester.update(state, matrix[:, start : start + 4])
+            peak = max(peak, measured_state_bytes(state))
+        tester.finalize(state)
+        assert peak <= tester.state_bytes * trials
+
+    def test_sketched_state_independent_of_n(self):
+        sizes = {}
+        for n in (64, 1024, 65536):
+            tester = StreamingCollisionTester(
+                n, EPS, q=24, num_buckets=16, threshold=10.0
+            )
+            state = tester.init_state(8)
+            matrix = uniform(n).sample_matrix(8, 24, ensure_rng(0))
+            run = measured_state_bytes(state)
+            tester.update(state, matrix)
+            sizes[n] = max(run, measured_state_bytes(state))
+            assert sizes[n] <= tester.state_bytes * 8
+        assert len(set(sizes.values())) == 1
+
+    def test_exact_state_grows_with_n_but_graph_state_does_not(self):
+        graph = complete_graph(12)
+        graph_bytes = {
+            n: StreamingGraphTester(n, EPS, graph, threshold=5.0).state_bytes
+            for n in (64, 4096)
+        }
+        assert graph_bytes[64] == graph_bytes[4096]
+        exact_bytes = {
+            n: StreamingCollisionTester(n, EPS, q=24, threshold=5.0).state_bytes
+            for n in (64, 4096)
+        }
+        assert exact_bytes[64] < exact_bytes[4096]
+
+
+class TestStreamingKernelAdapter:
+    def test_as_kernel_rung_and_cache_token(self):
+        tester = StreamingCollisionTester(N, EPS)
+        kernel = as_kernel(tester)
+        assert isinstance(kernel, StreamingKernel)
+        token = kernel.cache_token
+        assert token["kind"] == "streaming"
+        assert token["class"] == "StreamingCollisionTester"
+        # Matrix-mode draws are partition invariant, so the chunk width
+        # must NOT key the cache.
+        other = StreamingKernel(tester, chunk=3)
+        assert other.cache_token == token
+
+    def test_chunked_draw_mode_keys_the_cache(self):
+        tester = StreamingCollisionTester(N, EPS)
+        kernel = StreamingKernel(tester, chunk=8, draw="chunked")
+        token = kernel.cache_token
+        assert token["draw"] == "chunked"
+        assert token["chunk"] == 8
+        with pytest.raises(InvalidParameterError):
+            StreamingKernel(tester, draw="chunked")  # chunk required
+
+    def test_matrix_mode_bit_identical_to_batch_kernel(self):
+        streaming = as_kernel(StreamingCollisionTester(N, EPS))
+        batch = as_kernel(CentralizedCollisionTester(N, EPS))
+        for seed in (0, 5):
+            mine = streaming.accept_block(uniform(N), 150, ensure_rng(seed))
+            theirs = batch.accept_block(uniform(N), 150, ensure_rng(seed))
+            assert np.array_equal(mine, theirs)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingCollisionTester(1, EPS)
+        with pytest.raises(InvalidParameterError):
+            StreamingCollisionTester(N, 3.0)
+        with pytest.raises(InvalidParameterError):
+            StreamingCollisionTester(N, EPS, num_buckets=0)
+        tester = StreamingCollisionTester(N, EPS)
+        with pytest.raises(InvalidParameterError):
+            run_streaming(tester, _matrix(tester.q + 1))
+        with pytest.raises(InvalidParameterError):
+            tester.update(tester.init_state(4), np.zeros(3, dtype=np.int64))
+
+    def test_streaming_tester_is_not_a_uniformity_tester(self):
+        from repro.core.testers import UniformityTester
+
+        assert not issubclass(StreamingTester, UniformityTester)

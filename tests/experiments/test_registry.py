@@ -12,7 +12,7 @@ from repro.experiments import EXPERIMENTS, experiment_ids, run_experiment
 
 class TestRegistry:
     def test_all_twelve_registered(self):
-        assert experiment_ids() == [f"e{i:02d}" for i in range(1, 21)]
+        assert experiment_ids() == [f"e{i:02d}" for i in range(1, 22)]
 
     def test_unknown_experiment(self):
         with pytest.raises(InvalidParameterError):

@@ -32,6 +32,7 @@ MODULES = {
     "e18": "repro.experiments.e18_generalizations",
     "e19": "repro.experiments.e19_fault_tolerance",
     "e20": "repro.experiments.e20_comparison_graphs",
+    "e21": "repro.experiments.e21_streaming_memory",
 }
 
 

@@ -1,0 +1,39 @@
+# lint-path: repro/core/streaming_example_ok.py
+"""Golden fixture: vectorised streaming hot methods RL303/RL8xx allow."""
+import numpy as np
+
+
+class VectorizedStreamingTester:
+    """The production pattern: offset bincount folds, row-wise finalize."""
+
+    num_buckets = 8
+
+    def init_state(self, trials):
+        return {
+            "histogram": np.zeros((trials, self.num_buckets), dtype=np.int64),
+            "pair_count": np.zeros(trials, dtype=np.int64),
+        }
+
+    def update(self, state, sample_block):
+        histogram = state["histogram"]
+        crossings = np.take_along_axis(histogram, sample_block, axis=1)
+        state["pair_count"] += crossings.sum(axis=1)
+        trials = histogram.shape[0]
+        offsets = np.arange(trials, dtype=np.int64)[:, np.newaxis]
+        flat = np.bincount(
+            (sample_block + offsets * self.num_buckets).ravel(),
+            minlength=trials * self.num_buckets,
+        )
+        state["histogram"] += flat.reshape(trials, self.num_buckets)
+
+    def finalize(self, state):
+        # Zeroing state arrays by key iterates the dict, not the samples.
+        for key in state:
+            assert state[key].dtype == np.int64
+        return state["pair_count"] <= 3
+
+
+def update_helper_outside_streaming_class(rows, sample_block):
+    # Not a streaming-shaped class: free functions named ``update``-like
+    # stay out of scope.
+    return [row.sum() for row in sample_block]

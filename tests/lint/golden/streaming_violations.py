@@ -1,0 +1,59 @@
+# lint-path: repro/core/streaming_example.py
+"""Golden fixture: RL303/RL802 fire in streaming-tester hot methods."""
+import numpy as np
+
+
+class LoopedStreamingTester:
+    """Streaming-shaped (init_state/update/finalize) — hot methods audited."""
+
+    def init_state(self, trials):
+        return {
+            "histogram": np.zeros((trials, 8), dtype=np.int64),
+            "pair_count": np.zeros(trials, dtype=np.int64),
+        }
+
+    def update(self, state, sample_block):
+        num_trials = state["pair_count"].shape[0]
+        for trial in range(num_trials):  # expect: RL303
+            state["pair_count"][trial] += int(sample_block[trial].sum())
+
+    def finalize(self, state):
+        num_trials = state["pair_count"].shape[0]
+        return np.array(
+            [  # expect: RL303
+                state["pair_count"][trial] <= 3 for trial in range(num_trials)
+            ]
+        )
+
+
+class SampleLoopStreamingTester:
+    """Per-sample iteration of the incoming block is the banned pattern."""
+
+    def init_state(self, trials):
+        return {"total": np.zeros(trials, dtype=np.int64)}
+
+    def update(self, state, sample_block):
+        for row in sample_block:  # expect: RL303
+            state["total"] += row.sum()
+
+    def update_block(self, state, block):
+        return sum(  # expect: RL303
+            value for value in block.ravel()
+        )
+
+    def finalize(self, state):
+        return state["total"] <= 3
+
+
+class PlatformDtypeStreamingTester:
+    """State written with a platform-dependent width poisons the sketch."""
+
+    def init_state(self, trials):
+        return {"histogram": np.zeros((trials, 8), dtype=np.int64)}
+
+    def update(self, state, sample_block):
+        counts = sample_block.astype(np.int_)  # expect: RL802
+        state["histogram"] += counts.sum(axis=1, keepdims=True)
+
+    def finalize(self, state):
+        return state["histogram"].sum(axis=1) <= 3

@@ -74,6 +74,7 @@ def test_every_rule_family_has_a_clean_fixture():
         "engine_perf",
         "resources",
         "shapes",
+        "streaming",
     )
     for family in families:
         assert any(name.startswith(family) for name in clean), family
